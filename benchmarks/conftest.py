@@ -1,0 +1,28 @@
+"""Benchmark-suite plumbing: collect every printed table into one report."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+_REPORT: list[str] = []
+
+
+@pytest.fixture
+def report():
+    """Append a rendered table to the session report (and stdout)."""
+
+    def add(text: str) -> None:
+        _REPORT.append(text)
+
+    return add
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _REPORT:
+        out = Path(__file__).parent / "RESULTS.txt"
+        out.write_text("\n\n".join(_REPORT) + "\n", encoding="utf-8")

@@ -1,0 +1,56 @@
+"""Ablation: operator coalescing on/off (DESIGN.md decision #3).
+
+Runs the Fig. 5 unified query with the §5 rewrite enabled and disabled on
+the *same* engine configuration, isolating the benefit of sharing the
+grouping pass from the physical-level differences.
+"""
+
+from workloads import NUM_NODES, customer_small
+
+from repro import CleanDB, PhysicalConfig
+from repro.evaluation import print_table
+
+QUERY = (
+    "SELECT * FROM customer c "
+    "FD(c.address, prefix(c.phone)) "
+    "FD(c.address, c.nationkey) "
+    "DEDUP(exact, LD, 0.5, c.address)"
+)
+
+
+def run_ablation():
+    records, _ = customer_small()
+    rows = []
+    outputs = {}
+    for coalesce in (True, False):
+        db = CleanDB(
+            num_nodes=NUM_NODES,
+            config=PhysicalConfig(grouping="aggregate"),
+            coalesce=coalesce,
+        )
+        db.register_table("customer", records)
+        result = db.execute(QUERY)
+        rows.append(
+            {
+                "coalescing": "on" if coalesce else "off",
+                "sim_time": round(result.metrics["simulated_time"], 1),
+                "num_ops": int(result.metrics["num_ops"]),
+                "shuffled": int(result.metrics["shuffled_records"]),
+            }
+        )
+        outputs[coalesce] = {k: len(v) for k, v in result.branches.items()}
+    return rows, outputs
+
+
+def test_ablation_coalescing(benchmark, report):
+    rows, outputs = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    report(print_table("Ablation: operator coalescing", rows))
+    on, off = rows
+
+    # Coalescing shares one grouping pass across three operations: fewer
+    # engine ops, fewer shuffled records, less simulated time.
+    assert on["sim_time"] < off["sim_time"]
+    assert on["shuffled"] < off["shuffled"]
+    assert on["num_ops"] < off["num_ops"]
+    # Identical results either way.
+    assert outputs[True] == outputs[False]

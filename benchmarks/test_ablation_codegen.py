@@ -1,0 +1,57 @@
+"""Ablation: code generation vs. plan interpretation (Fig. 2, §7).
+
+The paper's Code Generator exists "to reduce the interpretation overhead
+that hurts the performance of pipelined query engines".  Simulated cost is
+identical by construction (the same logical work happens); the difference
+is real wall-clock per-record overhead, which pytest-benchmark measures.
+"""
+
+import time
+
+from workloads import NUM_NODES, customer_small
+
+from repro import CleanDB
+
+QUERY = (
+    "SELECT * FROM customer c "
+    "FD(c.address, prefix(c.phone)) "
+    "FD(c.address, c.nationkey) "
+    "DEDUP(exact, LD, 0.5, c.address)"
+)
+
+
+def run_once(use_codegen: bool):
+    records, _ = customer_small()
+    db = CleanDB(num_nodes=NUM_NODES, use_codegen=use_codegen)
+    db.register_table("customer", records)
+    start = time.perf_counter()
+    result = db.execute(QUERY)
+    wall = time.perf_counter() - start
+    return result, wall
+
+
+def test_ablation_codegen(benchmark, report):
+    def run():
+        interpreted, wall_i = run_once(False)
+        generated, wall_g = run_once(True)
+        return interpreted, generated, wall_i, wall_g
+
+    interpreted, generated, wall_i, wall_g = benchmark.pedantic(
+        run, rounds=3, iterations=1
+    )
+    rows = [
+        {"mode": "interpreted", "wall_seconds": round(wall_i, 4)},
+        {"mode": "generated", "wall_seconds": round(wall_g, 4)},
+    ]
+    from repro.evaluation import print_table
+
+    report(print_table("Ablation: code generation vs interpretation", rows))
+
+    # Identical answers and identical simulated cost (same logical plan).
+    assert {k: len(v) for k, v in interpreted.branches.items()} == {
+        k: len(v) for k, v in generated.branches.items()
+    }
+    assert interpreted.metrics["comparisons"] == generated.metrics["comparisons"]
+    # The generated script should not be slower in wall-clock terms by any
+    # meaningful margin (it removes expression-tree walking per record).
+    assert wall_g <= wall_i * 1.25

@@ -1,0 +1,73 @@
+"""Fig. 3: term-validation runtime, split into grouping vs. similarity.
+
+Paper's shape: each bar = grouping phase + similarity phase.  More k-means
+centers → fewer similarity checks; larger q → fewer, smaller token groups →
+fewer checks; tf q=2 is the slowest tf configuration (token too small, too
+many groups); k-means grouping is lighter than tokenization, but its
+similarity phase is heavier (fewer, larger clusters).
+"""
+
+from workloads import NUM_NODES, dblp_validation
+
+from repro.cleaning import validate_terms
+from repro.datasets.dblp import author_occurrences
+from repro.engine import Cluster
+from repro.evaluation import print_table
+
+CONFIGS = [
+    ("tf q=2", {"op": "token_filtering", "q": 2}),
+    ("tf q=3", {"op": "token_filtering", "q": 3}),
+    ("tf q=4", {"op": "token_filtering", "q": 4}),
+    ("kmeans k=5", {"op": "kmeans", "k": 5}),
+    ("kmeans k=10", {"op": "kmeans", "k": 10}),
+    ("kmeans k=20", {"op": "kmeans", "k": 20}),
+]
+
+
+def run_all_configs():
+    data = dblp_validation()
+    occurrences = author_occurrences(data.records)
+    rows = []
+    for label, params in CONFIGS:
+        cluster = Cluster(num_nodes=NUM_NODES)
+        ds = cluster.parallelize(occurrences, name="authors")
+        validate_terms(
+            ds, data.dictionary, theta=0.70, delta=0.02, **params
+        ).collect()
+        grouping = cluster.metrics.phase_time("grouping")
+        similarity = cluster.metrics.phase_time("similarity")
+        rows.append(
+            {
+                "config": label,
+                "grouping": round(grouping, 1),
+                "similarity": round(similarity, 1),
+                "total": round(cluster.metrics.simulated_time, 1),
+                "comparisons": cluster.metrics.comparisons,
+            }
+        )
+    return rows
+
+
+def test_fig3_term_validation_runtime(benchmark, report):
+    rows = benchmark.pedantic(run_all_configs, rounds=1, iterations=1)
+    report(print_table("Fig 3: term-validation runtime breakdown (DBLP)", rows))
+    by = {r["config"]: r for r in rows}
+
+    # More k-means centers -> fewer similarity checks (paper §8.1).
+    assert (
+        by["kmeans k=5"]["comparisons"]
+        >= by["kmeans k=10"]["comparisons"]
+        >= by["kmeans k=20"]["comparisons"]
+    )
+    # Larger q -> fewer checks; q=2 is the slowest token configuration.
+    assert (
+        by["tf q=2"]["comparisons"]
+        >= by["tf q=3"]["comparisons"]
+        >= by["tf q=4"]["comparisons"]
+    )
+    assert by["tf q=2"]["total"] == max(r["total"] for r in rows if r["config"].startswith("tf"))
+    # Grouping by center is lighter than tokenization (paper §8.1).
+    assert by["kmeans k=10"]["grouping"] <= by["tf q=3"]["grouping"]
+    # Token filtering needs fewer pairwise comparisons than k-means at the
+    # paper's preferred settings (q=3 vs k=10).
+    assert by["tf q=3"]["comparisons"] <= by["kmeans k=10"]["comparisons"] * 3

@@ -1,0 +1,103 @@
+"""Shared workloads for the §8 benchmarks (cached across bench files).
+
+Sizes are laptop-scale stand-ins for the paper's cluster-scale datasets;
+the scale-factor *ratios* and noise procedures match the paper so the
+relative shapes are comparable.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.datasets import (
+    generate_customer,
+    generate_dblp,
+    generate_lineitem,
+    generate_mag,
+)
+
+SCALE_FACTORS = (15, 30, 45, 60, 70)
+NUM_NODES = 10
+
+# Budget for the "fails to terminate" experiments (Table 5 / Fig. 8b):
+# comfortably above CleanDB's worst completed run, far below the baselines'.
+DC_BUDGET = 55_000.0
+MAG_BUDGET = 85_000.0
+
+
+@lru_cache(maxsize=None)
+def lineitem(scale_factor: int, noise_column: str = "orderkey"):
+    return generate_lineitem(scale_factor, noise_column=noise_column)
+
+
+@lru_cache(maxsize=None)
+def customer_small():
+    """Fig. 5's customer table: shared-address groups with FD violations."""
+    data = generate_customer(num_customers=400, max_duplicates=25, seed=23)
+    records = []
+    for r in data.records:
+        row = dict(r)
+        # Introduce FD violations: a tenth of the customers at an address
+        # carry a differently-prefixed phone / nation key.
+        if r["_rid"] % 10 == 0:
+            row["phone"] = "99-" + row["phone"]
+            row["nationkey"] = (row["nationkey"] + 7) % 25
+        records.append(row)
+    return records, data.duplicate_pairs
+
+
+@lru_cache(maxsize=None)
+def customer_zipf(max_duplicates: int):
+    """Fig. 8a's customer table with Zipf duplicate counts."""
+    return generate_customer(
+        num_customers=250, max_duplicates=max_duplicates, zipf_s=1.5, seed=31
+    )
+
+
+@lru_cache(maxsize=None)
+def dblp_validation(noise_rate: float = 0.25):
+    """Table 3 / Fig. 3 / Fig. 4 DBLP: author occurrences + dictionary."""
+    return generate_dblp(
+        num_publications=260,
+        num_authors=120,
+        noise_fraction=0.10,
+        noise_rate=noise_rate,
+        seed=41,
+    )
+
+
+@lru_cache(maxsize=None)
+def dblp_dedup(size: str, uniform: bool):
+    """Fig. 7 DBLP: two sizes (the 5 GB / 10 GB analogues)."""
+    num = 700 if size == "small" else 2800
+    return generate_dblp(
+        num_publications=num,
+        num_authors=150,
+        noise_fraction=0.05,
+        dup_fraction=0.10,
+        uniform_titles=uniform,
+        # The original (non-uniform) data keeps DBLP's heavy title skew —
+        # the property that stopped Spark SQL in the paper.
+        title_skew=1.6,
+        seed=21,
+    )
+
+
+@lru_cache(maxsize=None)
+def mag():
+    """Fig. 8b's MAG analogue (full) — heavily skewed."""
+    return generate_mag(
+        num_papers=1600,
+        num_author_ids=400,
+        zipf_s=1.1,
+        dup_fraction=0.15,
+        max_duplicates=10,
+        seed=59,
+    )
+
+
+def dc_price_cap(records, selectivity: float = 0.005) -> float:
+    """A price cap giving roughly the requested left-side selectivity."""
+    prices = sorted(r["price"] for r in records)
+    index = max(1, int(len(prices) * selectivity))
+    return prices[index]

@@ -1,0 +1,61 @@
+"""Scenario: denial-constraint checking on TPC-H (the paper's §8.3 workload).
+
+1. Check the functional dependency φ: orderkey, linenumber → suppkey on the
+   noisy lineitem table, comparing the three systems' grouping strategies.
+2. Check the inequality rule ψ (no item out-discounts a more expensive
+   item) under an execution budget — only CleanDB's statistics-aware
+   matrix theta join survives.
+
+Run:  python examples/constraint_checking.py
+"""
+
+from repro.baselines import BigDansingSystem, CleanDBSystem, SparkSQLSystem
+from repro.datasets import generate_lineitem, rule_phi, rule_psi
+from repro.evaluation import print_table
+
+SYSTEMS = (CleanDBSystem, SparkSQLSystem, BigDansingSystem)
+
+
+def main() -> None:
+    lineitem = generate_lineitem(30)
+    print(f"lineitem SF30: {len(lineitem)} rows (10% orderkey noise)")
+
+    # --- 1. FD check across systems ------------------------------------ #
+    lhs, rhs = rule_phi()
+    rows = []
+    for cls in SYSTEMS:
+        result = cls(num_nodes=10).check_fd(lineitem, lhs, rhs, fmt="csv")
+        rows.append(
+            {
+                "system": result.system,
+                "violating groups": result.output_count,
+                "simulated time": round(result.simulated_time, 1),
+                "records shuffled": result.shuffled_records,
+            }
+        )
+    print_table("FD phi: orderkey, linenumber -> suppkey", rows)
+
+    # --- 2. inequality DC under a budget -------------------------------- #
+    prices = sorted(r["price"] for r in lineitem)
+    psi = rule_psi(price_cap=prices[len(prices) // 200])
+    rows = []
+    for cls in SYSTEMS:
+        result = cls(num_nodes=10, budget=55_000).check_dc(lineitem, psi)
+        rows.append(
+            {
+                "system": result.system,
+                "status": result.status,
+                "violations": result.output_count if result.ok else None,
+                "simulated time": round(result.simulated_time, 1) if result.ok else None,
+            }
+        )
+    print_table("DC psi: t1.price < t2.price AND t1.discount > t2.discount", rows)
+    print(
+        "\nOnly CleanDB's matrix theta join finishes: Spark SQL materializes a\n"
+        "cartesian product, BigDansing's min-max pruning cannot prune shuffled\n"
+        "data and re-shuffles every partition pair (paper Table 5)."
+    )
+
+
+if __name__ == "__main__":
+    main()

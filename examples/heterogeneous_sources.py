@@ -1,0 +1,99 @@
+"""Scenario: one cleaning task over four storage formats (§7 / Fig. 7).
+
+The same nested publication data is written to JSON, XML, flat CSV, and the
+binary columnar format, loaded back through the catalog, and deduplicated.
+Shows (a) identical answers from every representation, (b) the file-size
+and scan-cost differences that make nested/columnar representations the
+better home for dirty data.
+
+Run:  python examples/heterogeneous_sources.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.cleaning import deduplicate
+from repro.datasets import generate_dblp
+from repro.engine import Cluster
+from repro.evaluation import print_table
+from repro.sources import (
+    Catalog,
+    Field,
+    Schema,
+    file_size,
+    flatten_records,
+    write_records,
+)
+
+NESTED_SCHEMA = Schema(
+    (
+        Field("key", "str"),
+        Field("title", "str"),
+        Field("journal", "str"),
+        Field("year", "int"),
+        Field("pages", "str"),
+        Field("authors", "list"),
+    )
+)
+
+
+def main() -> None:
+    data = generate_dblp(num_publications=200, num_authors=80, dup_fraction=0.15, seed=3)
+    nested = [{k: r[k] for k in NESTED_SCHEMA.names} for r in data.records]
+    flat = flatten_records(nested, "authors")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+        catalog = Catalog()
+        variants = [
+            ("json", nested, "publications.json", None),
+            ("xml", nested, "publications.xml", NESTED_SCHEMA),
+            ("columnar", nested, "publications.rcol", NESTED_SCHEMA),
+            ("csv", flat, "publications_flat.csv", NESTED_SCHEMA),
+        ]
+        rows = []
+        answers = {}
+        for fmt, records, filename, schema in variants:
+            path = tmp_path / filename
+            write_records(path, records, fmt, schema)
+            catalog.register(f"pubs_{fmt}", path, fmt, schema)
+
+            loaded = catalog.load(f"pubs_{fmt}")
+            cluster = Cluster(num_nodes=4)
+            ds = cluster.parallelize(loaded, fmt=fmt, name=f"pubs_{fmt}")
+            pairs = deduplicate(
+                ds,
+                ["pages"],
+                block_on=lambda r: (r["journal"], r["title"]),
+                theta=0.8,
+            ).collect()
+            # Flat rows repeat one publication per author: pairs between two
+            # author-rows of the SAME publication are an artifact of
+            # flattening, and each cross-publication pair shows up once per
+            # author combination.  Deduplicate on publication keys so every
+            # representation reports the same answer.
+            distinct = {
+                (min(p.left["key"], p.right["key"]), max(p.left["key"], p.right["key"]))
+                for p in pairs
+                if p.left["key"] != p.right["key"]
+            }
+            answers[fmt] = distinct
+            rows.append(
+                {
+                    "format": fmt,
+                    "rows": len(loaded),
+                    "file bytes": file_size(path),
+                    "dup pairs": len(distinct),
+                    "simulated time": round(cluster.metrics.simulated_time, 1),
+                }
+            )
+        print_table("One dedup task, four representations", rows)
+
+    assert len({frozenset(v) for v in answers.values()}) == 1, "answers must agree"
+    print("\nAll four representations produced identical duplicate sets.")
+    print("Columnar is the smallest and cheapest to scan; the flat CSV carries "
+          "one row per author and costs the most (Fig. 7's conclusion).")
+
+
+if __name__ == "__main__":
+    main()

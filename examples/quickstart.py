@@ -1,0 +1,57 @@
+"""Quickstart: the paper's running example in ~40 lines.
+
+A customer table is checked for three kinds of problems in ONE CleanM
+query — a functional dependency, duplicate entries, and misspelled names
+validated against a dictionary — and the optimizer coalesces the work.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CleanDB
+
+customers = [
+    {"name": "stella gian",  "address": "12 lake rd", "phone": "021-555-01", "nationkey": 7},
+    {"name": "stela gian",   "address": "12 lake rd", "phone": "027-555-02", "nationkey": 7},
+    {"name": "manos karp",   "address": "3 hill ave",  "phone": "022-555-03", "nationkey": 9},
+    {"name": "manos karp",   "address": "3 hill ave",  "phone": "022-555-04", "nationkey": 4},
+    {"name": "ben gaidioz",  "address": "9 main st",   "phone": "024-555-05", "nationkey": 2},
+]
+dictionary = ["stella gian", "manos karp", "ben gaidioz"]
+
+QUERY = """
+SELECT c.name, c.address, *
+FROM customer c, dictionary d
+FD(c.address, prefix(c.phone))
+DEDUP(exact, LD, 0.7, c.address)
+CLUSTER BY(token_filtering, LD, 0.7, c.name)
+"""
+
+
+def main() -> None:
+    db = CleanDB(num_nodes=4, q=2)
+    db.register_table("customer", customers)
+    db.register_table("dictionary", dictionary)
+
+    print(db.explain(QUERY))
+
+    result = db.execute(QUERY)
+
+    print("\n-- FD violations (address should determine the phone prefix) --")
+    for violation in result.branch("fd1"):
+        print(f"  address={violation['key']!r} maps to prefixes {sorted(violation['p0'])}")
+
+    print("\n-- Duplicate customers (same address) --")
+    for pair in result.branch("dedup"):
+        print(f"  {pair['p1']['name']!r}  <->  {pair['p2']['name']!r}")
+
+    print("\n-- Term repairs (names validated against the dictionary) --")
+    for dirty, suggestion in sorted(result.branch("cluster_by")):
+        print(f"  {dirty!r}  ->  {suggestion!r}")
+
+    print(f"\nsimulated cost: {result.metrics['simulated_time']:.0f} units; "
+          f"rewrites: coalesced={result.report.coalesced_groups}, "
+          f"shared scan={result.report.shared_scan}")
+
+
+if __name__ == "__main__":
+    main()

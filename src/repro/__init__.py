@@ -1,0 +1,55 @@
+"""CleanM / CleanDB reproduction.
+
+An executable reproduction of "CleanM: An Optimizable Query Language for
+Unified Scale-Out Data Cleaning" (VLDB 2017): the CleanM language, its
+three-level optimizer (monoid comprehensions -> nested relational algebra ->
+physical plans), the CleanDB engine over a simulated scale-out runtime, the
+Spark SQL and BigDansing baselines, and the full section-8 benchmark suite.
+
+Quickstart::
+
+    from repro import CleanDB
+
+    db = CleanDB(num_nodes=4)
+    db.register_table("customer", rows)
+    result = db.execute(
+        "SELECT * FROM customer c FD(c.address, prefix(c.phone))"
+    )
+    print(result.branch("fd1"))
+"""
+
+from .core.language import CleanDB, QueryResult
+from .engine.cluster import Cluster
+from .engine.dataset import Dataset
+from .engine.metrics import CostModel
+from .errors import (
+    BudgetExceededError,
+    DataSourceError,
+    MonoidError,
+    ParseError,
+    PlanningError,
+    ReproError,
+    SchemaError,
+    UnsupportedOperationError,
+)
+from .physical.lower import PhysicalConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CleanDB",
+    "QueryResult",
+    "Cluster",
+    "Dataset",
+    "CostModel",
+    "PhysicalConfig",
+    "ReproError",
+    "ParseError",
+    "PlanningError",
+    "SchemaError",
+    "MonoidError",
+    "BudgetExceededError",
+    "DataSourceError",
+    "UnsupportedOperationError",
+    "__version__",
+]

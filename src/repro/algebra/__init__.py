@@ -1,0 +1,37 @@
+"""Nested relational algebra — CleanM's second abstraction level."""
+
+from .operators import (
+    TRUE,
+    AlgebraOp,
+    Join,
+    Nest,
+    Reduce,
+    Scan,
+    Select,
+    SharedScanDAG,
+    Unnest,
+)
+from .rewrite import (
+    RewriteReport,
+    build_shared_dag,
+    coalesce_nests,
+    leaf_scan,
+    optimize_branches,
+    plan_signature,
+)
+from .translate import (
+    Translator,
+    conjoin,
+    is_grouping,
+    make_group_comprehension,
+    split_conjuncts,
+)
+
+__all__ = [
+    "TRUE", "AlgebraOp", "Join", "Nest", "Reduce", "Scan", "Select",
+    "SharedScanDAG", "Unnest",
+    "RewriteReport", "build_shared_dag", "coalesce_nests", "leaf_scan",
+    "optimize_branches", "plan_signature",
+    "Translator", "conjoin", "is_grouping", "make_group_comprehension",
+    "split_conjuncts",
+]

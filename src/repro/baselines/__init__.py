@@ -1,0 +1,17 @@
+"""The evaluated systems: CleanDB plus Spark SQL / BigDansing analogues."""
+
+from .systems import (
+    ALL_SYSTEMS,
+    BigDansingSystem,
+    CleanDBSystem,
+    SparkSQLSystem,
+    System,
+)
+
+__all__ = [
+    "ALL_SYSTEMS",
+    "BigDansingSystem",
+    "CleanDBSystem",
+    "SparkSQLSystem",
+    "System",
+]

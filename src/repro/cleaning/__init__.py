@@ -1,0 +1,85 @@
+"""Data cleaning building blocks: similarity, blocking, and the four
+operation families of §3.1 (denial constraints, deduplication, term
+validation, transformations)."""
+
+from .blocking import key_blocks, kmeans_blocks, length_blocks, make_blocks, token_blocks
+from .closure import (
+    UnionFind,
+    close_pairs,
+    elect_representatives,
+    entity_clusters,
+    fuse_duplicates,
+)
+from .dedup import DuplicatePair, deduplicate, ensure_rids, pairwise_within_blocks
+from .domain import (
+    DomainRule,
+    DomainViolation,
+    InRange,
+    InSet,
+    Matches,
+    NotNull,
+    Satisfies,
+    check_domains,
+    violation_summary,
+)
+from .denial import (
+    DenialConstraint,
+    FDViolation,
+    SingleFilter,
+    TuplePredicate,
+    check_dc,
+    check_fd,
+)
+from .kmeans import (
+    assign_to_centers,
+    fixed_step_centers,
+    hierarchical_cluster,
+    multi_pass_kmeans,
+    reservoir_sample,
+    single_pass_kmeans,
+)
+from .similarity import (
+    euclidean_similarity,
+    get_metric,
+    jaccard_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    record_similarity,
+    register_metric,
+    similar,
+)
+from .repair import apply_term_repairs, repair_fd_by_majority
+from .term_validation import TermRepair, validate_terms
+from .tokenize import normalize_term, qgrams, words
+from .transform import (
+    FillMissing,
+    SemanticMap,
+    SplitAttribute,
+    SplitDate,
+    Transform,
+    TransformPipeline,
+    project_all,
+)
+
+__all__ = [
+    "key_blocks", "kmeans_blocks", "length_blocks", "make_blocks", "token_blocks",
+    "DuplicatePair", "deduplicate", "ensure_rids", "pairwise_within_blocks",
+    "DenialConstraint", "FDViolation", "SingleFilter", "TuplePredicate",
+    "check_dc", "check_fd",
+    "DomainRule", "DomainViolation", "InRange", "InSet", "Matches", "NotNull",
+    "Satisfies", "check_domains", "violation_summary",
+    "assign_to_centers", "fixed_step_centers", "hierarchical_cluster",
+    "multi_pass_kmeans", "reservoir_sample", "single_pass_kmeans",
+    "euclidean_similarity", "get_metric", "jaccard_similarity",
+    "jaro_similarity", "jaro_winkler_similarity", "levenshtein_distance",
+    "levenshtein_similarity", "record_similarity", "register_metric", "similar",
+    "UnionFind", "close_pairs", "elect_representatives", "entity_clusters",
+    "fuse_duplicates",
+    "apply_term_repairs", "repair_fd_by_majority",
+    "TermRepair", "validate_terms",
+    "normalize_term", "qgrams", "words",
+    "FillMissing", "SemanticMap", "SplitAttribute", "SplitDate", "Transform",
+    "TransformPipeline", "project_all",
+]

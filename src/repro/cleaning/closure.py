@@ -1,0 +1,112 @@
+"""Transitive closure over duplicate pairs (§4.3 extension).
+
+The paper notes that "filtering approaches such as applying transitive
+closure in order to build the similar pairs can also be represented using
+the monoid calculus".  This module provides that post-processing step:
+detected duplicate pairs are closed into entity clusters with a union-find
+structure (whose merge is associative and commutative — a monoid over
+partitions), and each cluster elects a canonical representative.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterable
+
+from .dedup import DuplicatePair
+
+
+class UnionFind:
+    """Disjoint sets with path compression and union by size."""
+
+    def __init__(self) -> None:
+        self._parent: dict[Hashable, Hashable] = {}
+        self._size: dict[Hashable, int] = {}
+
+    def add(self, item: Hashable) -> None:
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+
+    def find(self, item: Hashable) -> Hashable:
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:  # path compression
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+
+    def groups(self) -> dict[Hashable, list[Hashable]]:
+        out: dict[Hashable, list[Hashable]] = {}
+        for item in self._parent:
+            out.setdefault(self.find(item), []).append(item)
+        return out
+
+
+def close_pairs(pairs: Iterable[tuple[Hashable, Hashable]]) -> list[list[Hashable]]:
+    """Transitively close (a,b) pairs into clusters of size ≥ 2."""
+    uf = UnionFind()
+    for a, b in pairs:
+        uf.union(a, b)
+    return [sorted(members, key=repr) for members in uf.groups().values() if len(members) > 1]
+
+
+def entity_clusters(
+    duplicates: Iterable[DuplicatePair],
+) -> list[list[int]]:
+    """Cluster detected :class:`DuplicatePair` results by record id."""
+    return close_pairs((p.left_id, p.right_id) for p in duplicates)
+
+
+def elect_representatives(
+    clusters: Iterable[list[int]],
+    records_by_id: dict[int, dict],
+    score: Callable[[dict], Any] | None = None,
+) -> dict[int, int]:
+    """Map every clustered record id to its cluster's canonical id.
+
+    The representative is the record minimizing ``score`` (default: the
+    smallest id, i.e. the earliest-seen record — a deterministic, common
+    fusion policy).
+    """
+    mapping: dict[int, int] = {}
+    for members in clusters:
+        if score is None:
+            representative = min(members)
+        else:
+            representative = min(members, key=lambda rid: (score(records_by_id[rid]), rid))
+        for rid in members:
+            mapping[rid] = representative
+    return mapping
+
+
+def fuse_duplicates(
+    records: list[dict],
+    duplicates: Iterable[DuplicatePair],
+    rid_attr: str = "_rid",
+) -> list[dict]:
+    """Collapse duplicate clusters, keeping one representative per entity.
+
+    A simple FUSE-BY-style conflict resolution (§2's declarative-cleaning
+    lineage): the representative record survives; all other cluster members
+    are dropped.  Records outside any cluster pass through untouched.
+    """
+    clusters = entity_clusters(duplicates)
+    by_id = {r.get(rid_attr): r for r in records}
+    mapping = elect_representatives(clusters, by_id)
+    out: list[dict] = []
+    for record in records:
+        rid = record.get(rid_attr)
+        if rid in mapping and mapping[rid] != rid:
+            continue  # a non-representative duplicate
+        out.append(record)
+    return out

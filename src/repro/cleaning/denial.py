@@ -1,0 +1,258 @@
+"""Denial constraints and functional dependencies (§3.1, §4.4, §8.3).
+
+A functional dependency ``LHS → RHS`` is checked without a self-join by
+grouping on the (possibly computed) left-hand side and flagging groups whose
+right-hand side is not unique — the comprehension of §4.4::
+
+    groups := for (d <- data) yield filter(lhs(d)),
+    for (g <- groups, g.count > 1) yield bag g
+
+General denial constraints ``∀ t1,t2 ¬(p1 ∧ ... ∧ pn)`` with inequality
+predicates are checked with a theta self-join whose strategy (matrix /
+cartesian / min-max) is the physical-level knob of §6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from ..engine.dataset import Dataset
+from ..physical.theta_join import self_theta_join
+
+AttrSpec = str | Callable[[dict], Any]
+
+
+def _attr_func(spec: AttrSpec) -> Callable[[dict], Any]:
+    if callable(spec):
+        return spec
+    return lambda record, _a=spec: record.get(_a)
+
+
+def _key_func(specs: Sequence[AttrSpec]) -> Callable[[dict], Any]:
+    funcs = [_attr_func(s) for s in specs]
+    if len(funcs) == 1:
+        return funcs[0]
+    return lambda record: tuple(f(record) for f in funcs)
+
+
+@dataclass(frozen=True)
+class FDViolation:
+    """One violated FD group: the LHS key and the conflicting RHS values."""
+
+    key: Any
+    rhs_values: tuple
+    records: tuple = ()
+
+    @property
+    def count(self) -> int:
+        return len(self.rhs_values)
+
+
+def check_fd(
+    dataset: Dataset,
+    lhs: Sequence[AttrSpec],
+    rhs: Sequence[AttrSpec],
+    grouping: str = "aggregate",
+    keep_records: bool = True,
+) -> Dataset:
+    """Detect FD violations by grouping on LHS (no self-join).
+
+    ``grouping`` picks the physical strategy: ``"aggregate"`` (CleanDB local
+    pre-aggregation, skew-resilient), ``"sort"`` (Spark SQL sort shuffle), or
+    ``"hash"`` (BigDansing hash shuffle).  Returns a dataset of
+    :class:`FDViolation`.
+    """
+    lhs_func = _key_func(lhs)
+    rhs_func = _key_func(rhs)
+
+    if grouping == "aggregate":
+        # CleanDB path: combine (distinct RHS set, witness records) locally,
+        # shuffle only combiners — the GROUP_CONCAT-like aggregate of §8.3.
+        keyed = dataset.map(
+            lambda r: (lhs_func(r), (rhs_func(r), r)), name="fd:keyBy"
+        )
+
+        def seq(acc: tuple[dict, list], value: tuple[Any, dict]) -> tuple[dict, list]:
+            rhs_seen, records = acc
+            rhs_value, record = value
+            if rhs_value not in rhs_seen:
+                rhs_seen[rhs_value] = None
+                if keep_records:
+                    records.append(record)
+            return (rhs_seen, records)
+
+        def comb(a: tuple[dict, list], b: tuple[dict, list]) -> tuple[dict, list]:
+            rhs_seen, records = a
+            for rhs_value in b[0]:
+                if rhs_value not in rhs_seen:
+                    rhs_seen[rhs_value] = None
+            if keep_records:
+                records.extend(b[1])
+            return (rhs_seen, records)
+
+        groups = keyed.aggregate_by_key(
+            lambda: ({}, []), seq, comb, name="fd:aggregate"
+        )
+    elif grouping in ("sort", "hash"):
+        keyed = dataset.map(
+            lambda r: (lhs_func(r), (rhs_func(r), r)), name="fd:keyBy"
+        )
+        grouped = keyed.group_by_key(shuffle_kind=grouping, name="fd:groupByKey")
+
+        def collapse(kv: tuple[Any, list]) -> tuple[Any, tuple[dict, list]]:
+            key, values = kv
+            rhs_seen: dict = {}
+            records: list = []
+            for rhs_value, record in values:
+                if rhs_value not in rhs_seen:
+                    rhs_seen[rhs_value] = None
+                    if keep_records:
+                        records.append(record)
+            return (key, (rhs_seen, records))
+
+        groups = grouped.map(collapse, name="fd:collapse")
+    else:
+        raise ValueError(f"unknown grouping strategy {grouping!r}")
+
+    def to_violation(kv: tuple[Any, tuple[dict, list]]) -> list[FDViolation]:
+        key, (rhs_seen, records) = kv
+        if len(rhs_seen) > 1:
+            return [FDViolation(key, tuple(rhs_seen), tuple(records))]
+        return []
+
+    return groups.flat_map(to_violation, name="fd:violations")
+
+
+_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+@dataclass(frozen=True)
+class TuplePredicate:
+    """A cross-tuple predicate ``t1.left_attr OP t2.right_attr``."""
+
+    left_attr: str
+    op: str
+    right_attr: str
+
+    def holds(self, t1: dict, t2: dict) -> bool:
+        return _OPS[self.op](t1.get(self.left_attr), t2.get(self.right_attr))
+
+
+@dataclass(frozen=True)
+class SingleFilter:
+    """A single-tuple filter ``t1.attr OP constant`` (e.g. ψ's price < X)."""
+
+    attr: str
+    op: str
+    value: Any
+
+    def holds(self, t: dict) -> bool:
+        return _OPS[self.op](t.get(self.attr), self.value)
+
+
+@dataclass(frozen=True)
+class DenialConstraint:
+    """``∀ t1, t2  ¬(predicates ∧ t1-filters)``.
+
+    ``predicates`` relate a pair of tuples; ``left_filters`` restrict t1
+    before the join (the 0.01 % price selection of rule ψ).
+    """
+
+    predicates: tuple[TuplePredicate, ...]
+    left_filters: tuple[SingleFilter, ...] = field(default=())
+    name: str = "dc"
+
+    def violated_by(self, t1: dict, t2: dict) -> bool:
+        if t1 is t2:
+            return False
+        if not all(f.holds(t1) for f in self.left_filters):
+            return False
+        return all(p.holds(t1, t2) for p in self.predicates)
+
+
+def check_dc(
+    dataset: Dataset,
+    constraint: DenialConstraint,
+    strategy: str = "matrix",
+) -> Dataset:
+    """Find tuple pairs violating a general denial constraint.
+
+    For the ``matrix`` (CleanDB) and ``cartesian`` (Spark SQL) strategies,
+    the single-tuple filters are pushed below the join (both systems have a
+    relational optimizer that performs selection pushdown).  BigDansing's
+    ``minmax`` strategy treats the whole rule as one black-box UDF applied
+    to tuple pairs (§2/§8.3), so nothing is pushed and both join sides are
+    the full input — the source of its "excessive data shuffling".
+    Returns a dataset of violating ``(t1, t2)`` pairs.
+    """
+    def pushed_predicate(t1: dict, t2: dict) -> bool:
+        if t1 is t2:
+            return False
+        return all(p.holds(t1, t2) for p in constraint.predicates)
+
+    def udf_predicate(t1: dict, t2: dict) -> bool:
+        return constraint.violated_by(t1, t2)
+
+    if strategy == "minmax":
+        band_attr = (
+            constraint.predicates[0].left_attr if constraint.predicates else None
+        )
+        band = (lambda r: r.get(band_attr, 0)) if band_attr else (lambda r: 0)
+        return self_theta_join_pair(dataset, dataset, udf_predicate, "minmax", band)
+
+    if constraint.left_filters:
+        left = dataset.filter(
+            lambda r: all(f.holds(r) for f in constraint.left_filters),
+            name="dc:leftFilter",
+        )
+    else:
+        left = dataset
+    if strategy == "matrix":
+        return self_theta_join_pair(left, dataset, pushed_predicate, "matrix")
+    if strategy == "cartesian":
+        return self_theta_join_pair(left, dataset, pushed_predicate, "cartesian")
+    raise ValueError(f"unknown DC strategy {strategy!r}")
+
+
+def self_theta_join_pair(
+    left: Dataset,
+    right: Dataset,
+    predicate: Callable[[dict, dict], bool],
+    strategy: str,
+    band_key: Callable[[dict], float] | None = None,
+) -> Dataset:
+    """Theta join of a (possibly filtered) left side against the full input."""
+    from ..physical.theta_join import (
+        theta_join_cartesian,
+        theta_join_matrix,
+        theta_join_minmax,
+    )
+
+    if strategy == "matrix":
+        return theta_join_matrix(left, right, predicate)
+    if strategy == "cartesian":
+        return theta_join_cartesian(left, right, predicate)
+    if strategy == "minmax":
+        if band_key is None:
+            raise ValueError("minmax strategy requires a band key")
+        return theta_join_minmax(left, right, predicate, band_key)
+    raise ValueError(f"unknown theta-join strategy {strategy!r}")
+
+
+__all__ = [
+    "FDViolation",
+    "check_fd",
+    "TuplePredicate",
+    "SingleFilter",
+    "DenialConstraint",
+    "check_dc",
+    "self_theta_join",
+]

@@ -1,0 +1,158 @@
+"""Syntactic checks: domain and range constraints (§1, §3.1).
+
+"Syntactic errors involve violations such as values out of domain or
+range."  These are the lightweight checks CleanM expresses with plain
+selections; the library form here validates many rules in one dataset pass
+(the same one-pass fusion Table 4 demonstrates for transformations).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from ..engine.dataset import Dataset
+
+
+@dataclass(frozen=True)
+class DomainViolation:
+    """One out-of-domain value: the rule, the record, the offending value."""
+
+    rule: str
+    attr: str
+    value: Any
+    record: dict
+
+
+class DomainRule:
+    """Base class: check one attribute of one record.
+
+    Subclasses are frozen dataclasses providing ``attr`` (the checked
+    attribute) and a ``name`` property; no defaults are defined here so the
+    dataclass field ordering of subclasses stays unconstrained.
+    """
+
+    def ok(self, value: Any) -> bool:
+        raise NotImplementedError
+
+    def check(self, record: dict) -> DomainViolation | None:
+        value = record.get(self.attr)  # type: ignore[attr-defined]
+        if self.ok(value):
+            return None
+        return DomainViolation(self.name, self.attr, value, record)  # type: ignore[attr-defined]
+
+
+@dataclass(frozen=True)
+class InSet(DomainRule):
+    """Value must belong to an enumerated domain (None allowed via flag)."""
+
+    attr: str
+    allowed: frozenset
+    allow_null: bool = False
+
+    @property
+    def name(self) -> str:
+        return f"in_set({self.attr})"
+
+    def ok(self, value: Any) -> bool:
+        if value is None:
+            return self.allow_null
+        return value in self.allowed
+
+
+@dataclass(frozen=True)
+class InRange(DomainRule):
+    """Numeric value must fall inside ``[low, high]``."""
+
+    attr: str
+    low: float
+    high: float
+    allow_null: bool = False
+
+    @property
+    def name(self) -> str:
+        return f"in_range({self.attr})"
+
+    def ok(self, value: Any) -> bool:
+        if value is None:
+            return self.allow_null
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return False
+        return self.low <= value <= self.high
+
+
+@dataclass(frozen=True)
+class Matches(DomainRule):
+    """String value must match a regular expression (fully)."""
+
+    attr: str
+    pattern: str
+    allow_null: bool = False
+
+    @property
+    def name(self) -> str:
+        return f"matches({self.attr})"
+
+    def ok(self, value: Any) -> bool:
+        if value is None:
+            return self.allow_null
+        return re.fullmatch(self.pattern, str(value)) is not None
+
+
+@dataclass(frozen=True)
+class NotNull(DomainRule):
+    attr: str
+
+    @property
+    def name(self) -> str:
+        return f"not_null({self.attr})"
+
+    def ok(self, value: Any) -> bool:
+        return value is not None and value != ""
+
+
+@dataclass(frozen=True)
+class Satisfies(DomainRule):
+    """Escape hatch: an arbitrary predicate — still fused into the one pass."""
+
+    attr: str
+    predicate: Callable[[Any], bool]
+    label: str = "satisfies"
+
+    @property
+    def name(self) -> str:
+        return f"{self.label}({self.attr})"
+
+    def ok(self, value: Any) -> bool:
+        return bool(self.predicate(value))
+
+
+def check_domains(
+    dataset: Dataset, rules: Sequence[DomainRule]
+) -> Dataset:
+    """Validate every rule in a single dataset pass.
+
+    Returns a dataset of :class:`DomainViolation` (a record may contribute
+    several, one per violated rule).
+    """
+    if not rules:
+        raise ValueError("check_domains needs at least one rule")
+
+    def check_all(record: dict) -> list[DomainViolation]:
+        out = []
+        for rule in rules:
+            violation = rule.check(record)
+            if violation is not None:
+                out.append(violation)
+        return out
+
+    return dataset.flat_map(check_all, name="syntactic:domainCheck")
+
+
+def violation_summary(violations: Iterable[DomainViolation]) -> dict[str, int]:
+    """Violation counts per rule, for reports."""
+    counts: dict[str, int] = {}
+    for violation in violations:
+        counts[violation.rule] = counts.get(violation.rule, 0) + 1
+    return counts

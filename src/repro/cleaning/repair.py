@@ -1,0 +1,91 @@
+"""Applying detected violations as repairs.
+
+The paper scopes CleanM to *detection* ("data repairing techniques ... are
+orthogonal extensions"); this module provides the two straightforward
+repair policies its outputs suggest, so the examples can show a full
+detect→repair loop:
+
+* :func:`apply_term_repairs` — replace dirty terms with their best
+  dictionary suggestion (term validation's output *is* the suggested
+  repair, §4.4).
+* :func:`repair_fd_by_majority` — for each violated FD group, rewrite the
+  right-hand side to the group's most frequent value (the simplest
+  NADEEF-style update that satisfies the rule).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, Iterable, Sequence
+
+from .denial import FDViolation
+from .term_validation import TermRepair
+
+
+def apply_term_repairs(
+    records: list[dict],
+    attr: str,
+    repairs: Iterable[TermRepair],
+    term_func: Callable[[Any], str] | None = None,
+) -> tuple[list[dict], int]:
+    """Rewrite ``attr`` values that have a repair suggestion.
+
+    Handles both scalar attributes and list attributes (e.g. a nested
+    author list).  Returns ``(new_records, values_changed)``.
+    """
+    mapping = {r.term: r.best for r in repairs if r.best is not None}
+    changed = 0
+    out: list[dict] = []
+    for record in records:
+        value = record.get(attr)
+        if isinstance(value, list):
+            new_value = [mapping.get(v, v) for v in value]
+            if new_value != value:
+                changed += sum(1 for a, b in zip(value, new_value) if a != b)
+                record = {**record, attr: new_value}
+        elif value in mapping:
+            changed += 1
+            record = {**record, attr: mapping[value]}
+        out.append(record)
+    return out, changed
+
+
+def repair_fd_by_majority(
+    records: list[dict],
+    violations: Iterable[FDViolation],
+    lhs: Sequence[str],
+    rhs: str,
+) -> tuple[list[dict], int]:
+    """Make each violated group satisfy ``lhs → rhs`` by majority vote.
+
+    For every violating LHS key, the most frequent RHS value among the
+    group's records wins (ties break deterministically by value repr).
+    Returns ``(new_records, values_changed)``.
+    """
+    violated_keys = {v.key for v in violations}
+
+    def key_of(record: dict) -> Any:
+        if len(lhs) == 1:
+            return record.get(lhs[0])
+        return tuple(record.get(a) for a in lhs)
+
+    majorities: dict[Any, Any] = {}
+    counts: dict[Any, Counter] = {}
+    for record in records:
+        key = key_of(record)
+        if key in violated_keys:
+            counts.setdefault(key, Counter())[record.get(rhs)] += 1
+    for key, counter in counts.items():
+        majorities[key] = min(
+            counter.items(), key=lambda kv: (-kv[1], repr(kv[0]))
+        )[0]
+
+    changed = 0
+    out: list[dict] = []
+    for record in records:
+        key = key_of(record)
+        if key in majorities and record.get(rhs) != majorities[key]:
+            record = {**record, rhs: majorities[key]}
+            changed += 1
+        out.append(record)
+    return out, changed

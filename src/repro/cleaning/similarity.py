@@ -1,0 +1,190 @@
+"""String and vector similarity metrics.
+
+The paper's cleaning operators are parameterized by a distance metric
+(Listing 1: ``<metric>``) — Levenshtein for term validation and dedup,
+Jaccard and Euclidean as alternatives.  All metrics here return a
+*similarity* in ``[0, 1]`` (1 = identical) so a single threshold convention
+(``sim >= theta``) works everywhere.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+SimilarityFunc = Callable[[str, str], float]
+
+
+def levenshtein_distance(a: str, b: str, max_distance: int | None = None) -> int:
+    """Edit distance with an optional early-exit band.
+
+    When ``max_distance`` is given and the true distance exceeds it, any
+    value ``> max_distance`` may be returned; callers use this to skip
+    hopeless pairs cheaply (the similarity join only cares whether the pair
+    passes the threshold).
+    """
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) > len(b):
+        a, b = b, a
+    if max_distance is not None and len(b) - len(a) > max_distance:
+        return max_distance + 1
+
+    previous = list(range(len(a) + 1))
+    for j, cb in enumerate(b, start=1):
+        current = [j]
+        row_min = j
+        for i, ca in enumerate(a, start=1):
+            cost = 0 if ca == cb else 1
+            value = min(
+                previous[i] + 1,      # deletion
+                current[i - 1] + 1,   # insertion
+                previous[i - 1] + cost,  # substitution
+            )
+            current.append(value)
+            if value < row_min:
+                row_min = value
+        if max_distance is not None and row_min > max_distance:
+            return max_distance + 1
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """``1 - distance / max_len``; the paper's "LD" metric."""
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein_distance(a, b) / longest
+
+
+def jaccard_similarity(a: str, b: str, q: int = 2) -> float:
+    """Jaccard similarity over q-gram token sets."""
+    from .tokenize import qgrams
+
+    set_a = set(qgrams(a, q))
+    set_b = set(qgrams(b, q))
+    if not set_a and not set_b:
+        return 1.0
+    union = len(set_a | set_b)
+    if union == 0:
+        return 1.0
+    return len(set_a & set_b) / union
+
+
+def jaro_similarity(a: str, b: str) -> float:
+    """Jaro similarity; building block for Jaro-Winkler."""
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    window = max(len(a), len(b)) // 2 - 1
+    window = max(window, 0)
+    a_flags = [False] * len(a)
+    b_flags = [False] * len(b)
+    matches = 0
+    for i, ca in enumerate(a):
+        lo = max(0, i - window)
+        hi = min(len(b), i + window + 1)
+        for j in range(lo, hi):
+            if not b_flags[j] and b[j] == ca:
+                a_flags[i] = b_flags[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i, flagged in enumerate(a_flags):
+        if flagged:
+            while not b_flags[j]:
+                j += 1
+            if a[i] != b[j]:
+                transpositions += 1
+            j += 1
+    transpositions //= 2
+    m = matches
+    return (m / len(a) + m / len(b) + (m - transpositions) / m) / 3.0
+
+
+def jaro_winkler_similarity(a: str, b: str, prefix_scale: float = 0.1) -> float:
+    """Jaro-Winkler: Jaro boosted by the length of the common prefix."""
+    jaro = jaro_similarity(a, b)
+    prefix = 0
+    for ca, cb in zip(a, b):
+        if ca != cb or prefix == 4:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_scale * (1.0 - jaro)
+
+
+def euclidean_similarity(a: Sequence[float], b: Sequence[float]) -> float:
+    """``1 / (1 + euclidean distance)`` for numeric vectors."""
+    if len(a) != len(b):
+        raise ValueError("euclidean similarity requires equal-length vectors")
+    distance = math.sqrt(sum((x - y) ** 2 for x, y in zip(a, b)))
+    return 1.0 / (1.0 + distance)
+
+
+_METRICS: dict[str, SimilarityFunc] = {
+    "LD": levenshtein_similarity,
+    "levenshtein": levenshtein_similarity,
+    "jaccard": jaccard_similarity,
+    "jaro": jaro_similarity,
+    "jaro_winkler": jaro_winkler_similarity,
+}
+
+
+def get_metric(name: str) -> SimilarityFunc:
+    """Look up a string-similarity metric by the name CleanM queries use."""
+    try:
+        return _METRICS[name]
+    except KeyError:
+        known = ", ".join(sorted(_METRICS))
+        raise ValueError(f"unknown similarity metric {name!r}; known: {known}") from None
+
+
+def register_metric(name: str, func: SimilarityFunc) -> None:
+    """Extend the metric registry (CleanM's extensibility hook, §4.3)."""
+    _METRICS[name] = func
+
+
+def similar(metric: str | SimilarityFunc, a: str, b: str, theta: float) -> bool:
+    """The ``similar(metric, a, b, θ)`` predicate of the paper's comprehensions."""
+    func = get_metric(metric) if isinstance(metric, str) else metric
+    if func is levenshtein_similarity:
+        # Convert the threshold into an edit-distance band for early exit.
+        # The band is computed generously (ceil) and the final decision uses
+        # the exact same floating-point expression as
+        # :func:`levenshtein_similarity`, so the fast path never disagrees
+        # with the plain metric at threshold boundaries.
+        longest = max(len(a), len(b))
+        if longest == 0:
+            return True
+        budget = int(math.ceil((1.0 - theta) * longest))
+        distance = levenshtein_distance(a, b, max_distance=budget)
+        if distance > budget:
+            return False
+        return 1.0 - distance / longest >= theta
+    return func(a, b) >= theta
+
+
+def record_similarity(
+    left: dict, right: dict, attributes: Sequence[str], metric: str, theta: float
+) -> bool:
+    """Average attribute-wise similarity of two records against a threshold.
+
+    Dedup in the paper compares records on a set of attributes; records match
+    when the mean similarity over those attributes reaches ``theta``.
+    """
+    if not attributes:
+        raise ValueError("record similarity needs at least one attribute")
+    func = get_metric(metric)
+    total = 0.0
+    for attr in attributes:
+        total += func(str(left.get(attr, "")), str(right.get(attr, "")))
+    return total / len(attributes) >= theta

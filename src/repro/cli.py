@@ -1,0 +1,144 @@
+"""Command-line interface: run CleanM queries over data files.
+
+Usage::
+
+    python -m repro explain --table customer=data.csv:csv:name:str,phone:str "SELECT ..."
+    python -m repro query   --table customer=data.json:json "SELECT ..."
+    python -m repro formats
+
+Table specs take the form ``NAME=PATH:FORMAT[:SCHEMA]`` where SCHEMA is a
+comma-separated ``field:type`` list (required for csv/columnar).  Query
+results print as text tables; cleaning branches print one block each.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Sequence
+
+from .core.language import CleanDB
+from .errors import ReproError
+from .evaluation.reporting import format_table
+from .sources import FORMATS, Catalog, Field, Schema
+
+
+def parse_table_spec(spec: str) -> tuple[str, str, str, Schema | None]:
+    """``name=path:fmt[:a:int,b:str]`` → (name, path, fmt, schema)."""
+    if "=" not in spec:
+        raise ValueError(f"table spec {spec!r} must look like NAME=PATH:FORMAT")
+    name, rest = spec.split("=", 1)
+    parts = rest.split(":", 2)
+    if len(parts) < 2:
+        raise ValueError(f"table spec {spec!r} is missing a format")
+    path, fmt = parts[0], parts[1]
+    if fmt not in FORMATS:
+        raise ValueError(f"unknown format {fmt!r}; known: {', '.join(FORMATS)}")
+    schema = None
+    if len(parts) == 3 and parts[2]:
+        fields = []
+        tokens = parts[2].split(",")
+        for token in tokens:
+            if ":" not in token:
+                raise ValueError(f"schema entry {token!r} must be field:type")
+            fname, ftype = token.split(":", 1)
+            fields.append(Field(fname.strip(), ftype.strip()))
+        schema = Schema(tuple(fields))
+    return name, path, fmt, schema
+
+
+def load_tables(specs: Sequence[str], db: CleanDB) -> None:
+    catalog = Catalog()
+    for spec in specs:
+        name, path, fmt, schema = parse_table_spec(spec)
+        catalog.register(name, path, fmt, schema)
+        db.register_table(name, catalog.load(name), fmt=fmt)
+
+
+def _print_branch(name: str, rows: list[Any]) -> None:
+    print(f"\n-- branch {name!r}: {len(rows)} rows --")
+    display: list[dict] = []
+    for row in rows[:50]:
+        if isinstance(row, dict):
+            display.append({k: _short(v) for k, v in row.items()})
+        else:
+            display.append({"value": _short(row)})
+    if display:
+        print(format_table(name, display))
+    if len(rows) > 50:
+        print(f"... {len(rows) - 50} more rows")
+
+
+def _short(value: Any) -> str:
+    text = repr(value) if not isinstance(value, str) else value
+    return text if len(text) <= 60 else text[:57] + "..."
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CleanM/CleanDB: query and clean heterogeneous data",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for cmd, help_text in (
+        ("query", "execute a CleanM query and print every branch"),
+        ("explain", "show the three-level optimization of a query"),
+    ):
+        p = sub.add_parser(cmd, help=help_text)
+        p.add_argument(
+            "--table",
+            action="append",
+            default=[],
+            metavar="NAME=PATH:FORMAT[:SCHEMA]",
+            help="register a data source (repeatable)",
+        )
+        p.add_argument("--nodes", type=int, default=10, help="simulated cluster size")
+        p.add_argument("--budget", type=float, default=None, help="execution budget")
+        p.add_argument("--no-coalesce", action="store_true", help="disable §5 rewrites")
+        p.add_argument("--metrics", action="store_true", help="print execution metrics")
+        p.add_argument("sql", help="the CleanM query text (or @file to read one)")
+
+    sub.add_parser("formats", help="list supported storage formats")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "formats":
+        print("\n".join(FORMATS))
+        return 0
+
+    sql = args.sql
+    if sql.startswith("@"):
+        with open(sql[1:], "r", encoding="utf-8") as handle:
+            sql = handle.read()
+
+    import math
+
+    db = CleanDB(
+        num_nodes=args.nodes,
+        budget=args.budget if args.budget is not None else math.inf,
+        coalesce=not args.no_coalesce,
+    )
+    try:
+        load_tables(args.table, db)
+        if args.command == "explain":
+            print(db.explain(sql))
+            return 0
+        result = db.execute(sql)
+    except (ReproError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    for name, rows in result.branches.items():
+        _print_branch(name, rows)
+    if args.metrics:
+        print("\n-- metrics --")
+        print(json.dumps(result.metrics, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

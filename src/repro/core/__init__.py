@@ -1,0 +1,15 @@
+"""CleanM language frontend and the CleanDB facade (Fig. 2)."""
+
+from .ast_nodes import ClusterByOp, DedupOp, FDOp, Query, SelectItem, Star, TableRef
+from .language import CleanDB, QueryResult
+from .lexer import Token, tokenize
+from .parser import parse
+from .rewriter import Branch, rewrite_query
+
+__all__ = [
+    "ClusterByOp", "DedupOp", "FDOp", "Query", "SelectItem", "Star", "TableRef",
+    "CleanDB", "QueryResult",
+    "Token", "tokenize",
+    "parse",
+    "Branch", "rewrite_query",
+]

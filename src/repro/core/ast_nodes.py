@@ -1,0 +1,94 @@
+"""AST for parsed CleanM queries.
+
+Scalar expressions reuse the calculus IR (``repro.monoid.expressions``)
+directly — ``c.name`` parses to ``Proj(Var("c"), "name")`` — so the
+de-sugarizer can splice them straight into comprehensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..monoid.expressions import Expr
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A FROM-clause entry: table name plus binding alias."""
+
+    name: str
+    alias: str
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One projection: an expression with an optional output alias."""
+
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Star:
+    """``SELECT *`` (optionally qualified ``alias.*``)."""
+
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class FDOp:
+    """``FD(lhs_attrs, rhs_attrs)`` — a functional dependency check."""
+
+    lhs: tuple[Expr, ...]
+    rhs: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class DedupOp:
+    """``DEDUP(<op>[, <metric>, <theta>][, <attributes>])``."""
+
+    op: str = "token_filtering"
+    metric: str = "LD"
+    theta: float = 0.8
+    attributes: tuple[Expr, ...] = ()
+
+
+@dataclass(frozen=True)
+class ClusterByOp:
+    """``CLUSTER BY(<op>[, <metric>, <theta>], <term>)`` — term validation.
+
+    ``dictionary`` is the alias of the FROM-clause table acting as the
+    dictionary (resolved by the parser from the term expression: the
+    dictionary is the other table).
+    """
+
+    op: str
+    metric: str
+    theta: float
+    term: Expr
+    dictionary: Optional[str] = None
+
+
+CleaningOp = FDOp | DedupOp | ClusterByOp
+
+
+@dataclass
+class Query:
+    """A parsed CleanM query (Listing 1)."""
+
+    select: list[SelectItem | Star]
+    tables: list[TableRef]
+    distinct: bool = False
+    where: Optional[Expr] = None
+    group_by: list[Expr] = field(default_factory=list)
+    having: Optional[Expr] = None
+    cleaning_ops: list[CleaningOp] = field(default_factory=list)
+
+    @property
+    def primary_table(self) -> TableRef:
+        """The table being cleaned — the first FROM entry by convention."""
+        return self.tables[0]
+
+    def alias_map(self) -> dict[str, str]:
+        return {t.alias: t.name for t in self.tables}

@@ -1,0 +1,364 @@
+"""The CleanDB facade: parse → rewrite → normalize → algebra → physical.
+
+This is the system of Fig. 2: a CleanM query string goes through the parser
+(AST), the Monoid Rewriter (comprehension branches), the Monoid Optimizer
+(normalization), the algebraic translator + rewriter (Nest coalescing and
+shared-scan DAG), and finally the physical executor over the simulated
+cluster.  ``explain()`` shows what every level produced.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from ..algebra.operators import AlgebraOp, SharedScanDAG
+from ..algebra.rewrite import RewriteReport, optimize_branches
+from ..algebra.translate import Translator
+from ..cleaning.kmeans import reservoir_sample
+from ..cleaning.similarity import record_similarity
+from ..cleaning.tokenize import qgrams
+from ..engine.cluster import Cluster
+from ..engine.dataset import Dataset
+from ..engine.metrics import CostModel
+from ..errors import PlanningError, SchemaError
+from ..monoid.comprehension import Comprehension
+from ..monoid.normalize import NormalizationTrace, normalize
+from ..physical.lower import Executor, PhysicalConfig
+from .ast_nodes import Query
+from .parser import parse
+from .rewriter import Branch, rewrite_query
+
+
+@dataclass
+class QueryResult:
+    """The outcome of one CleanM query.
+
+    ``branches`` maps each branch name (``query``, ``fd1``, ``dedup``,
+    ``cluster_by``, ...) to its collected output.  ``metrics`` is the
+    cluster's metrics summary for the execution; ``report`` records the
+    §5 rewrites that fired.
+    """
+
+    branches: dict[str, list[Any]]
+    metrics: dict[str, float]
+    report: RewriteReport
+    explain_text: str = ""
+
+    def branch(self, name: str) -> list[Any]:
+        try:
+            return self.branches[name]
+        except KeyError:
+            known = ", ".join(sorted(self.branches))
+            raise KeyError(f"no branch {name!r}; query produced: {known}") from None
+
+    @property
+    def violations(self) -> list[tuple[str, Any]]:
+        """Every violation across cleaning branches, tagged by branch.
+
+        This is the paper's "entities that contain at least one violation"
+        output for multi-operator queries.
+        """
+        out: list[tuple[str, Any]] = []
+        for name, rows in self.branches.items():
+            if name == "query":
+                continue
+            out.extend((name, row) for row in rows)
+        return out
+
+
+@dataclass
+class _Plan:
+    """An optimized plan plus everything needed to execute it."""
+
+    query: Query
+    branches: list[Branch]
+    dag: AlgebraOp
+    report: RewriteReport
+    traces: dict[str, NormalizationTrace] = field(default_factory=dict)
+
+
+class CleanDB:
+    """A unified querying + cleaning engine over the simulated cluster.
+
+    Parameters
+    ----------
+    num_nodes / budget / cost_model:
+        Cluster shape (see :class:`~repro.engine.cluster.Cluster`).
+    config:
+        Physical strategy knobs; defaults to the CleanDB strategies
+        (local pre-aggregation, matrix theta join).
+    coalesce:
+        Enable the §5 operator-coalescing rewrite (on by default; the
+        baselines turn it off).
+    q / k / delta:
+        Blocking parameters: q-gram length for token filtering, number of
+        centers and assignment slack for k-means.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int = 10,
+        budget: float = math.inf,
+        cost_model: CostModel | None = None,
+        config: PhysicalConfig | None = None,
+        coalesce: bool = True,
+        use_codegen: bool = False,
+        q: int = 3,
+        k: int = 10,
+        delta: float = 0.05,
+        seed: int = 13,
+    ):
+        self.cluster = Cluster(num_nodes=num_nodes, cost_model=cost_model, budget=budget)
+        self.config = config or PhysicalConfig()
+        self.coalesce = coalesce
+        self.use_codegen = use_codegen
+        self.q = q
+        self.k = k
+        self.delta = delta
+        self.seed = seed
+        self._tables: dict[str, list[Any]] = {}
+        self._formats: dict[str, str] = {}
+
+    # ------------------------------------------------------------------ #
+    # Catalog
+    # ------------------------------------------------------------------ #
+    def register_table(
+        self, name: str, records: Sequence[Any], fmt: str = "memory"
+    ) -> None:
+        """Register a data source.  Dict records get a stable ``_rid``."""
+        rows = list(records)
+        if rows and isinstance(rows[0], dict):
+            rows = [
+                r if "_rid" in r else {**r, "_rid": i} for i, r in enumerate(rows)
+            ]
+        self._tables[name] = rows
+        self._formats[name] = fmt
+
+    def table(self, name: str) -> list[Any]:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(f"unknown table {name!r}") from None
+
+    def profile(self, name: str, attr: str):
+        """Key-frequency statistics for one attribute (§6's statistics pass).
+
+        Returns a :class:`~repro.physical.stats.KeyStats`; its
+        ``skew_ratio``/``is_skewed`` tell the physical planner (and the
+        user) whether skew-resilient grouping will pay off for this key.
+        """
+        from ..physical.stats import collect_key_stats
+
+        rows = self.table(name)
+        return collect_key_stats(rows, lambda r: r.get(attr) if isinstance(r, dict) else r)
+
+    # ------------------------------------------------------------------ #
+    # Compilation
+    # ------------------------------------------------------------------ #
+    def compile(self, sql: str) -> _Plan:
+        """Run the front half of Fig. 2: parse, de-sugar, normalize, lower."""
+        query = parse(sql)
+        for t in query.tables:
+            if t.name not in self._tables:
+                raise SchemaError(f"query references unknown table {t.name!r}")
+        branches = rewrite_query(query)
+
+        translator = Translator(set(self._tables), self._formats)
+        plans: list[AlgebraOp] = []
+        names: list[str] = []
+        traces: dict[str, NormalizationTrace] = {}
+        for branch in branches:
+            trace = NormalizationTrace()
+            normalized = normalize(branch.comprehension, trace)
+            if not isinstance(normalized, Comprehension):
+                raise PlanningError(
+                    f"branch {branch.name} normalized to a constant: {normalized!r}"
+                )
+            traces[branch.name] = trace
+            plans.append(translator.translate(normalized))
+            names.append(branch.name)
+        dag, report = optimize_branches(plans, names, coalesce=self.coalesce)
+        return _Plan(query=query, branches=branches, dag=dag, report=report, traces=traces)
+
+    def explain(self, sql: str) -> str:
+        """The three-level EXPLAIN: rewrites applied and the final plan."""
+        plan = self.compile(sql)
+        lines = ["== CleanM query =="]
+        lines.append(sql.strip())
+        lines.append("")
+        lines.append("== Monoid level (normalization) ==")
+        for name, trace in plan.traces.items():
+            fired = ", ".join(trace.applied) if trace.applied else "(no rewrites)"
+            lines.append(f"  {name}: {fired}")
+        lines.append("")
+        lines.append("== Algebra level ==")
+        if plan.report.coalesced_groups:
+            for group in plan.report.coalesced_groups:
+                lines.append(f"  coalesced groupings: {' + '.join(group)}")
+        if plan.report.shared_scan:
+            lines.append(f"  shared scan: {plan.report.shared_scan}")
+        if not plan.report.any_rewrite:
+            lines.append("  (no inter-operator rewrites)")
+        lines.append("")
+        lines.append("== Physical plan ==")
+        lines.append(plan.dag.describe(1))
+        lines.append(
+            f"  [grouping={self.config.grouping}, theta={self.config.theta}]"
+        )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def execute(self, sql: str) -> QueryResult:
+        """Compile and run a CleanM query; collects every branch output.
+
+        With ``use_codegen=True`` the final level emits a Python script of
+        engine calls (Fig. 2's Code Generator) instead of interpreting the
+        plan; results are identical, per-record overhead lower.
+        """
+        plan = self.compile(sql)
+        functions = self._query_functions(plan)
+        if self.use_codegen:
+            from ..physical.codegen import generate_code
+
+            generated = generate_code(plan.dag, self.config)
+            raw = generated.run(self.cluster, dict(self._tables), functions)
+        else:
+            executor = Executor(
+                self.cluster,
+                dict(self._tables),
+                config=self.config,
+                functions=functions,
+            )
+            raw = executor.execute(plan.dag)
+        branches: dict[str, list[Any]] = {}
+        if isinstance(plan.dag, SharedScanDAG):
+            assert isinstance(raw, dict)
+            for name, value in raw.items():
+                branches[name] = self._collect(value)
+            if len(branches) > 1:
+                # The combining outer join of violation sets (§4.4).
+                total = sum(len(v) for v in branches.values())
+                self.cluster.record_op(
+                    "combine:outerJoin",
+                    self.cluster.spread_over_nodes([float(total)]),
+                    shuffled_records=total,
+                    shuffle_cost=total * self.cluster.cost_model.shuffle_unit,
+                )
+        else:
+            branches[plan.branches[0].name] = self._collect(raw)
+        return QueryResult(
+            branches=branches,
+            metrics=self.cluster.metrics.summary(),
+            report=plan.report,
+        )
+
+    def _collect(self, value: Any) -> list[Any]:
+        if isinstance(value, Dataset):
+            return value.collect()
+        return [value]
+
+    # ------------------------------------------------------------------ #
+    def _query_functions(self, plan: _Plan) -> dict[str, Any]:
+        """Per-query builtins: blocking keys, record similarity, helpers."""
+        kmeans_centers = self._kmeans_centers(plan)
+
+        def block_keys(kind: str, term: Any) -> list[Any]:
+            text = str(term)
+            if kind == "token_filtering":
+                return list(set(qgrams(text, self.q)) or {""})
+            if kind == "kmeans":
+                from ..cleaning.kmeans import assign_to_centers
+
+                return assign_to_centers(text, kmeans_centers, "LD", self.delta)
+            if kind == "length_filtering":
+                return [len(text) // 2]
+            if kind in ("exact", "key"):
+                return [text]
+            raise PlanningError(f"unknown blocking op {kind!r}")
+
+        dictionary_terms = self._dictionary_terms(plan)
+
+        return {
+            "block_keys": block_keys,
+            "in_dictionary": lambda term: str(term) in dictionary_terms,
+            "rid_less": lambda a, b: _rid(a) < _rid(b),
+            "similar_records": lambda metric, a, b, theta, attrs: record_similarity(
+                a, b, list(attrs), metric, theta
+            ),
+            "pair": lambda a, b: (a, b),
+            "freeze": _freeze_value,
+            "nth": _nth_key,
+            "agg": _aggregate,
+            "concat_terms": lambda *parts: " ".join(str(p) for p in parts),
+        }
+
+    def _dictionary_terms(self, plan: _Plan) -> set[str]:
+        """The dictionary contents, broadcast for exact-match short-circuit."""
+        for branch in plan.branches:
+            if branch.kind == "cluster_by":
+                rows = self._tables.get(branch.params["dictionary"], [])
+                return {str(r) for r in rows}
+        return set()
+
+    def _kmeans_centers(self, plan: _Plan) -> list[str]:
+        """Centers for k-means blocking: sampled from the dictionary table
+        when the query has one, otherwise from the primary table's terms."""
+        for branch in plan.branches:
+            if branch.kind == "cluster_by" and branch.params.get("op") == "kmeans":
+                dictionary = self._tables.get(branch.params["dictionary"], [])
+                terms = [str(x) for x in dictionary]
+                return reservoir_sample(terms, self.k, seed=self.seed) or [""]
+        primary = plan.query.primary_table.name
+        rows = self._tables.get(primary, [])[: self.k * 20]
+        terms = [str(next(iter(r.values()), "")) if isinstance(r, dict) else str(r) for r in rows]
+        return reservoir_sample(terms, self.k, seed=self.seed) or [""]
+
+
+def _rid(record: Any) -> Any:
+    if isinstance(record, dict) and "_rid" in record:
+        return record["_rid"]
+    return id(record)
+
+
+def _freeze_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze_value(v)) for k, v in value.items()))
+    if isinstance(value, (list, set, frozenset)):
+        return tuple(_freeze_value(v) for v in value)
+    return value
+
+
+def _nth_key(key: Any, index: int) -> Any:
+    """Project one component of a frozen composite grouping key."""
+    if isinstance(key, tuple):
+        component = key[index]
+        # Frozen RecordCons keys are (name, value) pairs.
+        if isinstance(component, tuple) and len(component) == 2 and isinstance(component[0], str):
+            return component[1]
+        return component
+    return key
+
+
+def _aggregate(kind: str, partition: Any, attr: str | None) -> Any:
+    values = [
+        (record.get(attr) if isinstance(record, dict) and attr else record)
+        for record in partition
+    ]
+    if kind == "count":
+        return len(values)
+    if kind == "distinct_count":
+        return len({_freeze_value(v) for v in values})
+    numbers = [v for v in values if isinstance(v, (int, float))]
+    if kind == "sum":
+        return sum(numbers)
+    if kind == "avg":
+        return sum(numbers) / len(numbers) if numbers else None
+    if kind == "min":
+        return min(numbers) if numbers else None
+    if kind == "max":
+        return max(numbers) if numbers else None
+    raise PlanningError(f"unknown aggregate {kind!r}")

@@ -1,0 +1,306 @@
+"""Recursive-descent parser for CleanM (Listing 1).
+
+Grammar::
+
+    query      := SELECT [ALL|DISTINCT] select_list FROM tables
+                  [WHERE expr] [GROUP BY exprs [HAVING expr]]
+                  (fd_op | dedup_op | cluster_op)*
+    fd_op      := FD '(' expr_list ',' expr_list ')'        -- the last
+                  comma splits LHS/RHS unless parenthesized groups are used
+    dedup_op   := DEDUP '(' IDENT [',' IDENT ',' NUMBER] [',' expr_list] ')'
+    cluster_op := CLUSTER BY '(' IDENT [',' IDENT ',' NUMBER] ',' expr ')'
+
+Scalar expressions support literals, ``alias.attr`` projections, function
+calls, arithmetic, comparisons, and AND/OR/NOT with usual precedence.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from ..monoid.expressions import BinOp, Call, Const, Expr, Proj, UnaryOp, Var
+from .ast_nodes import ClusterByOp, DedupOp, FDOp, Query, SelectItem, Star, TableRef
+from .lexer import Token, tokenize
+
+
+class Parser:
+    """One-token-lookahead recursive descent over the token list."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # ------------------------------------------------------------------ #
+    # Token helpers
+    # ------------------------------------------------------------------ #
+    def _peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _next(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def _accept(self, kind: str, value: str | None = None) -> Token | None:
+        token = self._peek()
+        if token.kind == kind and (value is None or token.value == value):
+            return self._next()
+        return None
+
+    def _expect(self, kind: str, value: str | None = None) -> Token:
+        token = self._accept(kind, value)
+        if token is None:
+            actual = self._peek()
+            wanted = value or kind
+            raise ParseError(
+                f"expected {wanted} but found {actual.value or actual.kind!r}",
+                position=actual.position,
+                line=actual.line,
+            )
+        return token
+
+    # ------------------------------------------------------------------ #
+    # Entry point
+    # ------------------------------------------------------------------ #
+    def parse(self) -> Query:
+        self._expect("KEYWORD", "SELECT")
+        distinct = False
+        if self._accept("KEYWORD", "DISTINCT"):
+            distinct = True
+        else:
+            self._accept("KEYWORD", "ALL")
+        select = self._select_list()
+        self._expect("KEYWORD", "FROM")
+        tables = self._tables()
+
+        where = None
+        if self._accept("KEYWORD", "WHERE"):
+            where = self._expr()
+        group_by: list[Expr] = []
+        having = None
+        if self._accept("KEYWORD", "GROUP"):
+            self._expect("KEYWORD", "BY")
+            group_by = self._expr_list()
+            if self._accept("KEYWORD", "HAVING"):
+                having = self._expr()
+
+        ops: list = []
+        while True:
+            if self._accept("KEYWORD", "FD"):
+                ops.append(self._fd_op())
+            elif self._accept("KEYWORD", "DEDUP"):
+                ops.append(self._dedup_op())
+            elif self._accept("KEYWORD", "CLUSTER"):
+                self._expect("KEYWORD", "BY")
+                ops.append(self._cluster_op(tables))
+            else:
+                break
+        self._expect("EOF")
+        return Query(
+            select=select,
+            tables=tables,
+            distinct=distinct,
+            where=where,
+            group_by=group_by,
+            having=having,
+            cleaning_ops=ops,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Clauses
+    # ------------------------------------------------------------------ #
+    def _select_list(self) -> list[SelectItem | Star]:
+        items: list[SelectItem | Star] = []
+        while True:
+            if self._accept("SYMBOL", "*"):
+                items.append(Star())
+            else:
+                expr = self._expr()
+                alias = None
+                if self._accept("KEYWORD", "AS"):
+                    alias = self._expect("IDENT").value
+                if isinstance(expr, Var) and self._peek().value == "." and False:
+                    pass
+                items.append(SelectItem(expr, alias))
+            if not self._accept("SYMBOL", ","):
+                break
+        return items
+
+    def _tables(self) -> list[TableRef]:
+        tables: list[TableRef] = []
+        while True:
+            name = self._expect("IDENT").value
+            alias = name
+            self._accept("KEYWORD", "AS")
+            nxt = self._peek()
+            if nxt.kind == "IDENT":
+                alias = self._next().value
+            tables.append(TableRef(name, alias))
+            if not self._accept("SYMBOL", ","):
+                break
+        return tables
+
+    def _fd_op(self) -> FDOp:
+        """``FD(lhs..., rhs)``: the final argument is the RHS; everything
+        before it is the LHS (matching the paper's ``FD(c.address,
+        prefix(c.phone))`` usage with compound LHS allowed)."""
+        self._expect("SYMBOL", "(")
+        exprs = self._expr_list()
+        self._expect("SYMBOL", ")")
+        if len(exprs) < 2:
+            raise ParseError("FD needs at least an LHS and an RHS attribute")
+        return FDOp(lhs=tuple(exprs[:-1]), rhs=(exprs[-1],))
+
+    def _dedup_op(self) -> DedupOp:
+        self._expect("SYMBOL", "(")
+        op = self._expect("IDENT").value
+        metric, theta = "LD", 0.8
+        attributes: list[Expr] = []
+        if self._accept("SYMBOL", ","):
+            first = self._expr()
+            if isinstance(first, Var) and self._peek().value == ",":
+                # metric, theta follow
+                metric = first.name
+                self._expect("SYMBOL", ",")
+                theta_token = self._expect("NUMBER")
+                theta = float(theta_token.value)
+                if self._accept("SYMBOL", ","):
+                    attributes = self._expr_list()
+            else:
+                attributes = [first]
+                if self._accept("SYMBOL", ","):
+                    attributes.extend(self._expr_list())
+        self._expect("SYMBOL", ")")
+        return DedupOp(op=op, metric=metric, theta=theta, attributes=tuple(attributes))
+
+    def _cluster_op(self, tables: list[TableRef]) -> ClusterByOp:
+        self._expect("SYMBOL", "(")
+        op = self._expect("IDENT").value
+        metric, theta = "LD", 0.8
+        self._expect("SYMBOL", ",")
+        first = self._expr()
+        term: Expr
+        if isinstance(first, Var) and self._peek().value == ",":
+            metric = first.name
+            self._expect("SYMBOL", ",")
+            theta = float(self._expect("NUMBER").value)
+            self._expect("SYMBOL", ",")
+            term = self._expr()
+        else:
+            term = first
+        self._expect("SYMBOL", ")")
+        # The dictionary is the FROM table whose alias the term does NOT use.
+        term_aliases = {
+            v for v in term.free_vars()
+        }
+        dictionary = None
+        for t in tables:
+            if t.alias not in term_aliases:
+                dictionary = t.alias
+        return ClusterByOp(op=op, metric=metric, theta=theta, term=term, dictionary=dictionary)
+
+    # ------------------------------------------------------------------ #
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------ #
+    def _expr_list(self) -> list[Expr]:
+        out = [self._expr()]
+        while self._accept("SYMBOL", ","):
+            out.append(self._expr())
+        return out
+
+    def _expr(self) -> Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expr:
+        left = self._and_expr()
+        while self._accept("KEYWORD", "OR"):
+            left = BinOp("or", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> Expr:
+        left = self._not_expr()
+        while self._accept("KEYWORD", "AND"):
+            left = BinOp("and", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> Expr:
+        if self._accept("KEYWORD", "NOT"):
+            return UnaryOp("not", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> Expr:
+        left = self._additive()
+        token = self._peek()
+        if token.kind == "SYMBOL" and token.value in ("=", "==", "!=", "<>", "<", "<=", ">", ">="):
+            self._next()
+            op = {"=": "==", "<>": "!="}.get(token.value, token.value)
+            return BinOp(op, left, self._additive())
+        return left
+
+    def _additive(self) -> Expr:
+        left = self._multiplicative()
+        while True:
+            token = self._peek()
+            if token.kind == "SYMBOL" and token.value in ("+", "-"):
+                self._next()
+                left = BinOp(token.value, left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> Expr:
+        left = self._unary()
+        while True:
+            token = self._peek()
+            if token.kind == "SYMBOL" and token.value in ("*", "/", "%"):
+                self._next()
+                left = BinOp(token.value, left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> Expr:
+        if self._accept("SYMBOL", "-"):
+            return UnaryOp("-", self._unary())
+        return self._postfix()
+
+    def _postfix(self) -> Expr:
+        expr = self._primary()
+        while self._accept("SYMBOL", "."):
+            attr = self._expect("IDENT").value
+            expr = Proj(expr, attr)
+        return expr
+
+    def _primary(self) -> Expr:
+        token = self._peek()
+        if token.kind == "NUMBER":
+            self._next()
+            value = float(token.value) if "." in token.value else int(token.value)
+            return Const(value)
+        if token.kind == "STRING":
+            self._next()
+            return Const(token.value)
+        if token.kind == "KEYWORD" and token.value in ("TRUE", "FALSE", "NULL"):
+            self._next()
+            return Const({"TRUE": True, "FALSE": False, "NULL": None}[token.value])
+        if token.kind == "IDENT":
+            self._next()
+            if self._accept("SYMBOL", "("):
+                args: list[Expr] = []
+                if not self._accept("SYMBOL", ")"):
+                    args = self._expr_list()
+                    self._expect("SYMBOL", ")")
+                return Call(token.value, tuple(args))
+            return Var(token.value)
+        if self._accept("SYMBOL", "("):
+            inner = self._expr()
+            self._expect("SYMBOL", ")")
+            return inner
+        raise ParseError(
+            f"unexpected token {token.value or token.kind!r} in expression",
+            position=token.position,
+            line=token.line,
+        )
+
+
+def parse(text: str) -> Query:
+    """Parse CleanM query text into a :class:`~repro.core.ast_nodes.Query`."""
+    return Parser(text).parse()

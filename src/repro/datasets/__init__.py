@@ -1,0 +1,29 @@
+"""Synthetic workload generators reproducing the paper's datasets (§8)."""
+
+from .dblp import DBLPData, author_occurrences, generate_dblp
+from .mag import MAGData, generate_mag
+from .names import author_pool, journal_pool, make_name, make_title
+from .noise import (
+    inject_string_noise,
+    inject_value_noise,
+    perturb_string,
+    zipf_choice,
+    zipf_int,
+)
+from .tpch import (
+    CustomerData,
+    generate_customer,
+    generate_lineitem,
+    rule_phi,
+    rule_psi,
+)
+
+__all__ = [
+    "DBLPData", "author_occurrences", "generate_dblp",
+    "MAGData", "generate_mag",
+    "author_pool", "journal_pool", "make_name", "make_title",
+    "inject_string_noise", "inject_value_noise", "perturb_string",
+    "zipf_choice", "zipf_int",
+    "CustomerData", "generate_customer", "generate_lineitem",
+    "rule_phi", "rule_psi",
+]

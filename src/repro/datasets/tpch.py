@@ -1,0 +1,162 @@
+"""Scaled-down TPC-H generators with the paper's noise procedures (§8).
+
+``generate_lineitem`` reproduces the denial-constraint workload: lineitem
+rows at a given scale factor, shuffled, with 10% of one column overwritten
+by values from the *smallest* scale factor's domain — so skew grows with
+dataset size exactly as the paper engineers it.
+
+``generate_customer`` reproduces the deduplication workload: duplicate
+records for 10% of customers, with a Zipf-distributed duplicate count and
+randomly edited name/phone values; ground-truth duplicate pairs are
+returned for accuracy checks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..cleaning.denial import DenialConstraint, SingleFilter, TuplePredicate
+from .names import make_name
+from .noise import inject_value_noise, perturb_string, zipf_int
+
+# Rows per scale-factor unit.  The paper's SF15 lineitem has 90M rows; the
+# simulation keeps the same SF ratios (15/30/45/60/70) at laptop scale.
+ROWS_PER_SF = 120
+BASE_SF = 15
+
+RULE_PHI = "orderkey, linenumber -> suppkey"
+
+
+def generate_lineitem(
+    scale_factor: int,
+    noise_column: str = "orderkey",
+    noise_fraction: float = 0.10,
+    rows_per_sf: int = ROWS_PER_SF,
+    seed: int = 7,
+) -> list[dict[str, Any]]:
+    """TPC-H lineitem at ``scale_factor`` with the paper's noise procedure."""
+    rng = random.Random(seed)
+    num_rows = scale_factor * rows_per_sf
+    num_orders = max(1, num_rows // 4)
+    records: list[dict[str, Any]] = []
+    for i in range(num_rows):
+        orderkey = (i // 4) + 1
+        linenumber = (i % 4) + 1
+        records.append(
+            {
+                "orderkey": orderkey,
+                "linenumber": linenumber,
+                "suppkey": (orderkey * 7 + linenumber) % (num_orders // 2 + 1) + 1,
+                "partkey": rng.randint(1, num_orders),
+                "quantity": rng.choice([None] * 1 + list(range(1, 51)))
+                if rng.random() < 0.02
+                else rng.randint(1, 50),
+                "price": round(rng.uniform(900.0, 105000.0), 2),
+                "discount": round(rng.uniform(0.0, 0.10), 2),
+                "receiptdate": _random_date(rng),
+            }
+        )
+    rng.shuffle(records)
+    # Noise values come from the BASE_SF domain: with bigger SFs, more rows
+    # collapse into the same small key range, increasing skew with size.
+    base_orders = max(1, BASE_SF * rows_per_sf // 4)
+    if noise_column == "orderkey":
+        domain: list[Any] = list(range(1, base_orders + 1))
+    elif noise_column == "discount":
+        domain = [round(d / 100, 2) for d in range(0, 11)]
+    else:
+        raise ValueError(f"unsupported noise column {noise_column!r}")
+    noisy, _ = inject_value_noise(
+        records, noise_column, noise_fraction, domain, seed=seed + 1
+    )
+    return noisy
+
+
+def _random_date(rng: random.Random) -> str:
+    year = rng.randint(1992, 1998)
+    month = rng.randint(1, 12)
+    day = rng.randint(1, 28)
+    return f"{year:04d}-{month:02d}-{day:02d}"
+
+
+def rule_phi() -> tuple[list[str], list[str]]:
+    """Rule φ of §8.3: ``orderkey, linenumber → suppkey`` (as FD specs)."""
+    return (["orderkey", "linenumber"], ["suppkey"])
+
+
+def rule_psi(price_cap: float = 1000.0) -> DenialConstraint:
+    """Rule ψ of §8.3: no item may out-discount a more expensive item.
+
+    ``∀t1,t2 ¬(t1.price < t2.price ∧ t1.discount > t2.discount ∧
+    t1.price < X)`` — the price filter keeps t1's side at ~0.01% selectivity
+    in the paper; at simulation scale the default cap keeps it comparably
+    selective against the (900, 105000) price domain.
+    """
+    return DenialConstraint(
+        predicates=(
+            TuplePredicate("price", "<", "price"),
+            TuplePredicate("discount", ">", "discount"),
+        ),
+        left_filters=(SingleFilter("price", "<", price_cap),),
+        name="psi",
+    )
+
+
+@dataclass
+class CustomerData:
+    """Customer table plus dedup ground truth."""
+
+    records: list[dict[str, Any]]
+    duplicate_pairs: set[tuple[int, int]] = field(default_factory=set)
+
+
+def generate_customer(
+    num_customers: int = 500,
+    dup_fraction: float = 0.10,
+    max_duplicates: int = 50,
+    zipf_s: float = 1.5,
+    edit_rate: float = 0.15,
+    seed: int = 23,
+) -> CustomerData:
+    """TPC-H customer with injected duplicates (§8's dedup workload).
+
+    Each of the 10% duplicated customers gets ``Zipf[1, max_duplicates]``
+    copies with edited name and phone.  ``_rid`` is assigned on every record
+    and ground-truth pairs are expressed in rids (originals pair with each
+    of their copies, and copies pair with each other).
+    """
+    rng = random.Random(seed)
+    base: list[dict[str, Any]] = []
+    for i in range(num_customers):
+        name = make_name(rng)
+        base.append(
+            {
+                "custkey": i + 1,
+                "name": name,
+                "address": f"{rng.randint(1, 999)} {make_name(rng)} street",
+                "phone": f"{rng.randint(10, 34)}-{rng.randint(100, 999)}-{rng.randint(1000, 9999)}",
+                "nationkey": rng.randint(0, 24),
+            }
+        )
+    dup_count = round(num_customers * dup_fraction)
+    dup_sources = rng.sample(range(num_customers), dup_count)
+    records: list[dict[str, Any]] = [dict(r) for r in base]
+    clusters: list[list[int]] = [[i] for i in range(num_customers)]
+    for source in dup_sources:
+        copies = zipf_int(rng, zipf_s, 1, max_duplicates)
+        for _ in range(copies):
+            dup = dict(base[source])
+            dup["name"] = perturb_string(dup["name"], edit_rate, rng)
+            dup["phone"] = perturb_string(dup["phone"], edit_rate, rng)
+            clusters[source].append(len(records))
+            records.append(dup)
+    for i, record in enumerate(records):
+        record["_rid"] = i
+    pairs: set[tuple[int, int]] = set()
+    for members in clusters:
+        for a in range(len(members)):
+            for b in range(a + 1, len(members)):
+                pairs.add((min(members[a], members[b]), max(members[a], members[b])))
+    return CustomerData(records=records, duplicate_pairs=pairs)

@@ -1,0 +1,33 @@
+"""Simulated scale-out execution engine ("sparklite").
+
+Stands in for the paper's Spark runtime: partitioned datasets with an
+RDD-like API, an explicit shuffle layer, and a deterministic cost model that
+reproduces the plan-shape effects (pre-aggregation, skew, theta-join
+balancing) the paper's evaluation measures.
+"""
+
+from .cluster import Cluster
+from .dataset import Dataset
+from .metrics import CostModel, MetricsCollector, OpMetrics
+from .partitioner import (
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+    RoundRobinPartitioner,
+    make_partitioner,
+    stable_hash,
+)
+
+__all__ = [
+    "Cluster",
+    "Dataset",
+    "CostModel",
+    "MetricsCollector",
+    "OpMetrics",
+    "Partitioner",
+    "HashPartitioner",
+    "RangePartitioner",
+    "RoundRobinPartitioner",
+    "make_partitioner",
+    "stable_hash",
+]

@@ -1,0 +1,93 @@
+"""The shuffle layer: redistributes keyed records across partitions.
+
+All wide dependencies in the engine funnel through :func:`shuffle`, which is
+where records cross simulated node boundaries and where the shuffle cost of
+each strategy is computed:
+
+* ``"hash"``  — hash partitioning, charged at the hash-shuffle factor
+  (models BigDansing's hash-based shuffle, §8.3);
+* ``"sort"``  — range partitioning from a key sample, charged at the
+  sort-shuffle factor (models Spark SQL's sort-based shuffle);
+* ``"local"`` — hash partitioning of *pre-aggregated combiners*; the caller
+  has already shrunk the data map-side, so far fewer records move (models
+  CleanDB's ``aggregateByKey``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable
+
+from .cluster import Cluster
+from .partitioner import make_partitioner
+
+KeyedRecord = tuple[Any, Any]
+
+# How many keys the range partitioner samples before cutting boundaries.
+_RANGE_SAMPLE_SIZE = 1024
+
+
+def shuffle(
+    cluster: Cluster,
+    partitions: list[list[KeyedRecord]],
+    num_partitions: int,
+    kind: str = "hash",
+    op_name: str = "shuffle",
+) -> tuple[list[list[KeyedRecord]], int, float]:
+    """Redistribute ``(key, value)`` records into ``num_partitions`` buckets.
+
+    Returns ``(new_partitions, records_moved, shuffle_cost)``.  The caller is
+    responsible for recording the op metrics (it usually folds in reduce-side
+    work first).
+    """
+    total = sum(len(p) for p in partitions)
+    if kind == "sort":
+        sample = _sample_keys(partitions, _RANGE_SAMPLE_SIZE)
+        partitioner = make_partitioner("range", num_partitions, sample)
+        factor = cluster.cost_model.sort_shuffle_factor
+    elif kind == "hash":
+        partitioner = make_partitioner("hash", num_partitions)
+        factor = cluster.cost_model.hash_shuffle_factor
+    elif kind == "local":
+        # Combiners were already merged map-side; fewer objects move, but
+        # each is heavier than a raw record (key + aggregate state).
+        partitioner = make_partitioner("hash", num_partitions)
+        factor = cluster.cost_model.combiner_shuffle_factor
+    else:
+        raise ValueError(f"unknown shuffle kind: {kind!r}")
+
+    out: list[list[KeyedRecord]] = [[] for _ in range(num_partitions)]
+    for part in partitions:
+        for key, value in part:
+            out[partitioner.partition(key)].append((key, value))
+    cost = total * cluster.cost_model.shuffle_unit * factor
+    if kind == "sort" and total > 1:
+        # The sort itself costs n·log n CPU on top of the data movement.
+        cost += total * math.log2(total) * cluster.cost_model.sort_cpu_unit
+    return out, total, cost
+
+
+def _sample_keys(partitions: list[list[KeyedRecord]], limit: int) -> list[Any]:
+    """Deterministically sample up to ``limit`` keys (every k-th record)."""
+    total = sum(len(p) for p in partitions)
+    if total == 0:
+        return []
+    step = max(1, total // limit)
+    sample: list[Any] = []
+    index = 0
+    for part in partitions:
+        for key, _ in part:
+            if index % step == 0:
+                sample.append(key)
+            index += 1
+    return sample
+
+
+def partition_by_key(
+    records: list[KeyedRecord], key_func: Callable[[KeyedRecord], Any] | None = None
+) -> dict[Any, list[Any]]:
+    """Group a flat list of keyed records into ``{key: [values]}``."""
+    groups: dict[Any, list[Any]] = {}
+    for key, value in records:
+        groups.setdefault(key, []).append(value)
+    return groups

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the CleanM/CleanDB reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ParseError(ReproError):
+    """A CleanM query could not be tokenized or parsed.
+
+    Carries the offending position so front ends can point at the query text.
+    """
+
+    def __init__(self, message: str, position: int = -1, line: int = -1):
+        super().__init__(message)
+        self.position = position
+        self.line = line
+
+
+class PlanningError(ReproError):
+    """Query translation (comprehension, algebra, or physical) failed."""
+
+
+class SchemaError(ReproError):
+    """A referenced table/attribute does not exist or has the wrong type."""
+
+
+class MonoidError(ReproError):
+    """A value or operation violates the monoid laws it claims to satisfy."""
+
+
+class BudgetExceededError(ReproError):
+    """The simulated execution cost exceeded the cluster budget.
+
+    This models the paper's "system fails to terminate / is non-interactive"
+    outcomes (Table 5, Fig. 8b).  The partially-accumulated cost is kept so
+    reports can show how far the plan got before being cut off.
+    """
+
+    def __init__(self, message: str, spent: float = 0.0, budget: float = 0.0):
+        super().__init__(message)
+        self.spent = spent
+        self.budget = budget
+
+
+class DataSourceError(ReproError):
+    """A data source file is missing, corrupt, or in an unexpected format."""
+
+
+class UnsupportedOperationError(ReproError):
+    """A system was asked to run an operation it does not implement.
+
+    Used by the baselines, e.g. BigDansing has no term-validation support and
+    its dedup is specific to the ``customer`` table (paper §8).
+    """

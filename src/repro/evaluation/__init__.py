@@ -1,0 +1,11 @@
+"""Accuracy metrics and experiment-run records for the §8 benchmarks."""
+
+from .accuracy import AccuracyReport, score_pairs, score_term_repairs
+from .reporting import format_table, print_table, speedup
+from .runner import RunResult
+
+__all__ = [
+    "AccuracyReport", "score_pairs", "score_term_repairs",
+    "format_table", "print_table", "speedup",
+    "RunResult",
+]

@@ -1,0 +1,73 @@
+"""Accuracy metrics (§8: precision, recall, F-score).
+
+The paper measures term-validation accuracy as:
+``precision = correct updates / total updates suggested`` and
+``recall = correct updates / total errors``, verified "against a sanitized
+version of the dataset" — here, against the generator's ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..cleaning.term_validation import TermRepair
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    precision: float
+    recall: float
+
+    @property
+    def f_score(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "precision": round(self.precision, 4),
+            "recall": round(self.recall, 4),
+            "f_score": round(self.f_score, 4),
+        }
+
+
+def score_term_repairs(
+    repairs: Iterable[TermRepair],
+    truth: Mapping[str, str],
+) -> AccuracyReport:
+    """Score suggested repairs against the dirty→clean ground truth.
+
+    A suggestion is *correct* when the best (most similar) suggestion for a
+    dirty term equals its true clean form.  Terms repaired that were never
+    dirtied count against precision; dirty terms with no suggestion count
+    against recall.
+    """
+    total_errors = len(truth)
+    suggested = 0
+    correct = 0
+    for repair in repairs:
+        if not repair.suggestions:
+            continue
+        suggested += 1
+        expected = truth.get(repair.term)
+        if expected is not None and repair.best == expected:
+            correct += 1
+    precision = correct / suggested if suggested else 0.0
+    recall = correct / total_errors if total_errors else 1.0
+    return AccuracyReport(precision=precision, recall=recall)
+
+
+def score_pairs(
+    found: Iterable[tuple[int, int]],
+    truth: set[tuple[int, int]],
+) -> AccuracyReport:
+    """Score detected duplicate pairs against ground-truth pairs."""
+    canon = {(min(a, b), max(a, b)) for a, b in found}
+    if not canon:
+        return AccuracyReport(precision=0.0, recall=0.0 if truth else 1.0)
+    hits = len(canon & truth)
+    precision = hits / len(canon)
+    recall = hits / len(truth) if truth else 1.0
+    return AccuracyReport(precision=precision, recall=recall)

@@ -1,0 +1,55 @@
+"""Plain-text tables for the benchmark harness.
+
+Every §8 benchmark prints the same rows/series the paper reports; this
+module renders them consistently and records them for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+
+def format_table(
+    title: str,
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Render rows as an aligned text table with a title banner."""
+    if not rows:
+        return f"== {title} ==\n(no rows)"
+    cols = list(columns or rows[0].keys())
+    rendered = [[_cell(row.get(c)) for c in cols] for row in rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in rendered)) for i, c in enumerate(cols)
+    ]
+    lines = [f"== {title} =="]
+    lines.append("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 100 else f"{value:.0f}"
+    return str(value)
+
+
+def print_table(
+    title: str,
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+) -> str:
+    text = format_table(title, rows, columns)
+    print("\n" + text)
+    return text
+
+
+def speedup(slow: float, fast: float) -> float:
+    """``slow / fast``; infinity-safe."""
+    if fast <= 0:
+        return float("inf")
+    return slow / fast

@@ -1,0 +1,48 @@
+"""Run records for benchmark executions.
+
+A :class:`RunResult` captures one system × workload execution: simulated
+time (the cost-model clock the shape claims are made on), wall-clock time,
+and the counters the figures break down (phase times for Fig. 3, shuffle
+volume for the skew discussions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RunResult:
+    system: str
+    status: str  # "ok" | "budget_exceeded" | "unsupported"
+    simulated_time: float = 0.0
+    wall_seconds: float = 0.0
+    output_count: int = 0
+    shuffled_records: int = 0
+    comparisons: int = 0
+    grouping_time: float = 0.0
+    similarity_time: float = 0.0
+    reason: str = ""
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def failed(self) -> bool:
+        return not self.ok
+
+    @staticmethod
+    def unsupported(system: str, reason: str = "") -> "RunResult":
+        return RunResult(system=system, status="unsupported", reason=reason)
+
+    def as_row(self) -> dict:
+        """Row form used by the benchmark tables."""
+        return {
+            "system": self.system,
+            "status": self.status,
+            "sim_time": round(self.simulated_time, 1) if self.ok else None,
+            "violations": self.output_count if self.ok else None,
+            "shuffled": self.shuffled_records if self.ok else None,
+        }

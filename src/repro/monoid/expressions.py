@@ -1,0 +1,339 @@
+"""Expression IR for the monoid comprehension calculus.
+
+Expressions appear in comprehension heads, filter predicates, and generator
+sources.  The IR is a small, immutable tree; every node supports structural
+equality, free-variable computation, and substitution — the three things the
+normalizer (``repro.monoid.normalize``) needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class Expr:
+    """Base class for all calculus expressions."""
+
+    def free_vars(self) -> set[str]:
+        raise NotImplementedError
+
+    def substitute(self, mapping: dict[str, "Expr"]) -> "Expr":
+        """Capture-naive substitution of variables by expressions.
+
+        The translator generates fresh variable names for every binder, so
+        capture cannot occur in practice; the normalizer relies on this.
+        """
+        raise NotImplementedError
+
+    def children(self) -> list["Expr"]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal value (number, string, bool, None)."""
+
+    value: Any
+
+    def free_vars(self) -> set[str]:
+        return set()
+
+    def substitute(self, mapping: dict[str, Expr]) -> Expr:
+        return self
+
+    def children(self) -> list[Expr]:
+        return []
+
+    def __repr__(self) -> str:
+        return f"Const({self.value!r})"
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A bound variable reference."""
+
+    name: str
+
+    def free_vars(self) -> set[str]:
+        return {self.name}
+
+    def substitute(self, mapping: dict[str, Expr]) -> Expr:
+        return mapping.get(self.name, self)
+
+    def children(self) -> list[Expr]:
+        return []
+
+    def __repr__(self) -> str:
+        return f"Var({self.name})"
+
+
+@dataclass(frozen=True)
+class Proj(Expr):
+    """Record projection ``expr.field``."""
+
+    source: Expr
+    attr: str
+
+    def free_vars(self) -> set[str]:
+        return self.source.free_vars()
+
+    def substitute(self, mapping: dict[str, Expr]) -> Expr:
+        return Proj(self.source.substitute(mapping), self.attr)
+
+    def children(self) -> list[Expr]:
+        return [self.source]
+
+    def __repr__(self) -> str:
+        return f"{self.source!r}.{self.attr}"
+
+
+@dataclass(frozen=True)
+class RecordCons(Expr):
+    """Record construction ``{a: e1, b: e2}``.
+
+    ``fields`` is a tuple of (name, expr) pairs to keep the node hashable and
+    the field order deterministic.
+    """
+
+    fields: tuple[tuple[str, Expr], ...]
+
+    @staticmethod
+    def of(**kwargs: Expr) -> "RecordCons":
+        return RecordCons(tuple(kwargs.items()))
+
+    def field_map(self) -> dict[str, Expr]:
+        return dict(self.fields)
+
+    def free_vars(self) -> set[str]:
+        out: set[str] = set()
+        for _, expr in self.fields:
+            out |= expr.free_vars()
+        return out
+
+    def substitute(self, mapping: dict[str, Expr]) -> Expr:
+        return RecordCons(
+            tuple((name, expr.substitute(mapping)) for name, expr in self.fields)
+        )
+
+    def children(self) -> list[Expr]:
+        return [expr for _, expr in self.fields]
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary operation; ``op`` is a symbol like ``+`` ``==`` ``and``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def free_vars(self) -> set[str]:
+        return self.left.free_vars() | self.right.free_vars()
+
+    def substitute(self, mapping: dict[str, Expr]) -> Expr:
+        return BinOp(self.op, self.left.substitute(mapping), self.right.substitute(mapping))
+
+    def children(self) -> list[Expr]:
+        return [self.left, self.right]
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # "not" or "-"
+    operand: Expr
+
+    def free_vars(self) -> set[str]:
+        return self.operand.free_vars()
+
+    def substitute(self, mapping: dict[str, Expr]) -> Expr:
+        return UnaryOp(self.op, self.operand.substitute(mapping))
+
+    def children(self) -> list[Expr]:
+        return [self.operand]
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """Function application ``name(args...)``.
+
+    Functions are resolved against the evaluator's function registry; UDFs
+    defined as comprehensions are inlined by the normalizer before execution.
+    """
+
+    name: str
+    args: tuple[Expr, ...]
+
+    def free_vars(self) -> set[str]:
+        out: set[str] = set()
+        for arg in self.args:
+            out |= arg.free_vars()
+        return out
+
+    def substitute(self, mapping: dict[str, Expr]) -> Expr:
+        return Call(self.name, tuple(a.substitute(mapping) for a in self.args))
+
+    def children(self) -> list[Expr]:
+        return list(self.args)
+
+    def __repr__(self) -> str:
+        return f"{self.name}({', '.join(map(repr, self.args))})"
+
+
+@dataclass(frozen=True)
+class If(Expr):
+    """Conditional expression ``if cond then then_branch else else_branch``."""
+
+    cond: Expr
+    then_branch: Expr
+    else_branch: Expr
+
+    def free_vars(self) -> set[str]:
+        return (
+            self.cond.free_vars()
+            | self.then_branch.free_vars()
+            | self.else_branch.free_vars()
+        )
+
+    def substitute(self, mapping: dict[str, Expr]) -> Expr:
+        return If(
+            self.cond.substitute(mapping),
+            self.then_branch.substitute(mapping),
+            self.else_branch.substitute(mapping),
+        )
+
+    def children(self) -> list[Expr]:
+        return [self.cond, self.then_branch, self.else_branch]
+
+
+@dataclass(frozen=True)
+class Lambda(Expr):
+    """Anonymous function; used by the function-composition monoid."""
+
+    params: tuple[str, ...]
+    body: Expr
+
+    def free_vars(self) -> set[str]:
+        return self.body.free_vars() - set(self.params)
+
+    def substitute(self, mapping: dict[str, Expr]) -> Expr:
+        inner = {k: v for k, v in mapping.items() if k not in self.params}
+        return Lambda(self.params, self.body.substitute(inner))
+
+    def children(self) -> list[Expr]:
+        return [self.body]
+
+
+@dataclass(frozen=True)
+class Merge(Expr):
+    """Explicit monoid merge ``left ⊕ right``.
+
+    Produced by the if-split normalization rule, which turns a comprehension
+    whose head is a conditional into the merge of two simpler comprehensions
+    (§4.2, "splits if-then-else expressions in two comprehensions").
+    """
+
+    monoid: Any  # a Monoid; typed loosely to avoid an import cycle
+    left: Expr
+    right: Expr
+
+    def free_vars(self) -> set[str]:
+        return self.left.free_vars() | self.right.free_vars()
+
+    def substitute(self, mapping: dict[str, Expr]) -> Expr:
+        return Merge(self.monoid, self.left.substitute(mapping), self.right.substitute(mapping))
+
+    def children(self) -> list[Expr]:
+        return [self.left, self.right]
+
+
+# ---------------------------------------------------------------------- #
+# Evaluation
+# ---------------------------------------------------------------------- #
+
+_BINOPS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "%": lambda a, b: a % b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def evaluate(expr: Expr, env: dict[str, Any], funcs: dict[str, Callable] | None = None) -> Any:
+    """Interpret an expression under an environment and function registry."""
+    from .comprehension import Comprehension, evaluate_comprehension
+
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Var):
+        try:
+            return env[expr.name]
+        except KeyError:
+            raise NameError(f"unbound variable {expr.name!r}") from None
+    if isinstance(expr, Proj):
+        source = evaluate(expr.source, env, funcs)
+        if isinstance(source, dict):
+            try:
+                return source[expr.attr]
+            except KeyError:
+                raise KeyError(
+                    f"record has no attribute {expr.attr!r}; has {sorted(source)}"
+                ) from None
+        return getattr(source, expr.attr)
+    if isinstance(expr, RecordCons):
+        return {name: evaluate(sub, env, funcs) for name, sub in expr.fields}
+    if isinstance(expr, BinOp):
+        if expr.op == "and":
+            return bool(evaluate(expr.left, env, funcs)) and bool(
+                evaluate(expr.right, env, funcs)
+            )
+        if expr.op == "or":
+            return bool(evaluate(expr.left, env, funcs)) or bool(
+                evaluate(expr.right, env, funcs)
+            )
+        try:
+            op = _BINOPS[expr.op]
+        except KeyError:
+            raise ValueError(f"unknown binary operator {expr.op!r}") from None
+        return op(evaluate(expr.left, env, funcs), evaluate(expr.right, env, funcs))
+    if isinstance(expr, UnaryOp):
+        value = evaluate(expr.operand, env, funcs)
+        if expr.op == "not":
+            return not value
+        if expr.op == "-":
+            return -value
+        raise ValueError(f"unknown unary operator {expr.op!r}")
+    if isinstance(expr, Call):
+        registry = funcs or {}
+        if expr.name not in registry:
+            raise NameError(f"unknown function {expr.name!r}")
+        args = [evaluate(a, env, funcs) for a in expr.args]
+        return registry[expr.name](*args)
+    if isinstance(expr, If):
+        if evaluate(expr.cond, env, funcs):
+            return evaluate(expr.then_branch, env, funcs)
+        return evaluate(expr.else_branch, env, funcs)
+    if isinstance(expr, Lambda):
+        def closure(*values: Any, _expr: Lambda = expr) -> Any:
+            local = dict(env)
+            local.update(zip(_expr.params, values))
+            return evaluate(_expr.body, local, funcs)
+
+        return closure
+    if isinstance(expr, Comprehension):
+        return evaluate_comprehension(expr, env, funcs)
+    if isinstance(expr, Merge):
+        return expr.monoid.merge(
+            evaluate(expr.left, env, funcs), evaluate(expr.right, env, funcs)
+        )
+    raise TypeError(f"cannot evaluate expression of type {type(expr).__name__}")

@@ -1,0 +1,455 @@
+"""Monoid definitions (§4.1/§4.3 of the paper).
+
+A *primitive monoid* models an aggregate: an associative merge ``⊕`` with an
+identity element.  A *collection monoid* additionally has a unit function
+turning one element into a singleton collection.  CleanM's contribution is
+mapping data cleaning building blocks — grouping, token filtering, k-means
+center assignment — onto this structure, which makes them first-class,
+composable, and parallelizable (merge order does not matter).
+
+Every monoid here implements the same protocol (``zero`` / ``unit`` /
+``merge``), and the property-based tests in ``tests/monoid`` verify the
+monoid laws (identity and associativity) on random inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Hashable, Iterable, Sequence
+
+from ..errors import MonoidError
+
+# NOTE: similarity/tokenizer helpers are imported lazily inside the monoids
+# that need them; `repro.cleaning` itself builds on this module.
+
+
+class Monoid:
+    """Protocol for all monoids.
+
+    ``commutative`` and ``idempotent`` flags let the optimizer know which
+    rewrites are safe (e.g. a set monoid tolerates duplicate delivery, a list
+    monoid does not tolerate reordering).
+    """
+
+    name: str = "monoid"
+    commutative: bool = True
+    idempotent: bool = False
+
+    def zero(self) -> Any:
+        raise NotImplementedError
+
+    def unit(self, value: Any) -> Any:
+        """Lift one element into the monoid's carrier type.
+
+        Primitive monoids use the element itself as the singleton value.
+        """
+        return value
+
+    def merge(self, left: Any, right: Any) -> Any:
+        raise NotImplementedError
+
+    def fold(self, values: Iterable[Any]) -> Any:
+        """Merge the units of ``values``, left to right."""
+        acc = self.zero()
+        for value in values:
+            acc = self.merge(acc, self.unit(value))
+        return acc
+
+    def __repr__(self) -> str:
+        return f"<monoid {self.name}>"
+
+
+# ---------------------------------------------------------------------- #
+# Primitive monoids
+# ---------------------------------------------------------------------- #
+class SumMonoid(Monoid):
+    name = "sum"
+
+    def zero(self) -> float:
+        return 0
+
+    def merge(self, left: Any, right: Any) -> Any:
+        return left + right
+
+
+class CountMonoid(Monoid):
+    """Counts elements: the unit of any value is 1."""
+
+    name = "count"
+
+    def zero(self) -> int:
+        return 0
+
+    def unit(self, value: Any) -> int:
+        return 1
+
+    def merge(self, left: int, right: int) -> int:
+        return left + right
+
+
+class MaxMonoid(Monoid):
+    name = "max"
+    idempotent = True
+
+    def zero(self) -> float:
+        return -math.inf
+
+    def merge(self, left: Any, right: Any) -> Any:
+        return left if left >= right else right
+
+
+class MinMonoid(Monoid):
+    name = "min"
+    idempotent = True
+
+    def zero(self) -> float:
+        return math.inf
+
+    def merge(self, left: Any, right: Any) -> Any:
+        return left if left <= right else right
+
+
+class AllMonoid(Monoid):
+    """Logical conjunction; zero is True."""
+
+    name = "all"
+    idempotent = True
+
+    def zero(self) -> bool:
+        return True
+
+    def merge(self, left: bool, right: bool) -> bool:
+        return bool(left) and bool(right)
+
+
+class AnyMonoid(Monoid):
+    """Logical disjunction; zero is False.  Backs EXISTS unnesting."""
+
+    name = "any"
+    idempotent = True
+
+    def zero(self) -> bool:
+        return False
+
+    def merge(self, left: bool, right: bool) -> bool:
+        return bool(left) or bool(right)
+
+
+class AvgMonoid(Monoid):
+    """Average via the (sum, count) product monoid.
+
+    ``avg`` itself is not associative, but the pair of running sum and count
+    is; :meth:`finalize` divides at the end.  Used by the fill-missing-values
+    transformation (Table 4).
+    """
+
+    name = "avg"
+
+    def zero(self) -> tuple[float, int]:
+        return (0.0, 0)
+
+    def unit(self, value: float) -> tuple[float, int]:
+        return (float(value), 1)
+
+    def merge(self, left: tuple[float, int], right: tuple[float, int]) -> tuple[float, int]:
+        return (left[0] + right[0], left[1] + right[1])
+
+    @staticmethod
+    def finalize(state: tuple[float, int]) -> float:
+        total, count = state
+        if count == 0:
+            raise MonoidError("average of an empty collection")
+        return total / count
+
+
+# ---------------------------------------------------------------------- #
+# Collection monoids
+# ---------------------------------------------------------------------- #
+class ListMonoid(Monoid):
+    """Ordered list with append-concatenation; not commutative."""
+
+    name = "list"
+    commutative = False
+
+    def zero(self) -> list:
+        return []
+
+    def unit(self, value: Any) -> list:
+        return [value]
+
+    def merge(self, left: list, right: list) -> list:
+        return left + right
+
+
+class BagMonoid(Monoid):
+    """Multiset; represented as a list whose order is insignificant."""
+
+    name = "bag"
+
+    def zero(self) -> list:
+        return []
+
+    def unit(self, value: Any) -> list:
+        return [value]
+
+    def merge(self, left: list, right: list) -> list:
+        return left + right
+
+
+class SetMonoid(Monoid):
+    name = "set"
+    idempotent = True
+
+    def zero(self) -> frozenset:
+        return frozenset()
+
+    def unit(self, value: Hashable) -> frozenset:
+        return frozenset([value])
+
+    def merge(self, left: frozenset, right: frozenset) -> frozenset:
+        return left | right
+
+
+class GroupMonoid(Monoid):
+    """Pointwise-merged dictionary of inner-monoid values.
+
+    ``unit`` is parameterized by a key function and a value function: one
+    element becomes ``{key(x): inner.unit(value(x))}`` and merging unions the
+    dictionaries, merging inner values on key collision.  SQL GROUP BY, token
+    filtering, and k-means assignment are all instances of this shape.
+    """
+
+    name = "group"
+
+    def __init__(self, inner: Monoid | None = None,
+                 key_func: Callable[[Any], Hashable] | None = None,
+                 value_func: Callable[[Any], Any] | None = None):
+        self.inner = inner or BagMonoid()
+        self.key_func = key_func or (lambda x: x)
+        self.value_func = value_func or (lambda x: x)
+
+    def zero(self) -> dict:
+        return {}
+
+    def unit(self, value: Any) -> dict:
+        return {self.key_func(value): self.inner.unit(self.value_func(value))}
+
+    def merge(self, left: dict, right: dict) -> dict:
+        if len(left) < len(right):
+            left, right = right, left
+        out = dict(left)
+        for key, inner_value in right.items():
+            if key in out:
+                out[key] = self.inner.merge(out[key], inner_value)
+            else:
+                out[key] = inner_value
+        return out
+
+
+class MultiGroupMonoid(Monoid):
+    """Like :class:`GroupMonoid` but one element may map to *many* keys.
+
+    The key function returns an iterable of keys; the element is added to the
+    group of every key.  This is the shape shared by token filtering (one
+    word → all its q-gram groups) and the overlapping-assignment k-means
+    variant (one word → every near-minimal center).
+    """
+
+    name = "multigroup"
+
+    def __init__(self, keys_func: Callable[[Any], Iterable[Hashable]],
+                 inner: Monoid | None = None,
+                 value_func: Callable[[Any], Any] | None = None):
+        self.inner = inner or SetMonoid()
+        self.keys_func = keys_func
+        self.value_func = value_func or (lambda x: x)
+
+    def zero(self) -> dict:
+        return {}
+
+    def unit(self, value: Any) -> dict:
+        payload = self.inner.unit(self.value_func(value))
+        return {key: payload for key in self.keys_func(value)}
+
+    def merge(self, left: dict, right: dict) -> dict:
+        if len(left) < len(right):
+            left, right = right, left
+        out = dict(left)
+        for key, inner_value in right.items():
+            if key in out:
+                out[key] = self.inner.merge(out[key], inner_value)
+            else:
+                out[key] = inner_value
+        return out
+
+
+class TokenFilterMonoid(MultiGroupMonoid):
+    """The token-filtering monoid of §4.3.
+
+    ``unit(word) = {token_1: {word}, token_2: {word}, ...}`` for the word's
+    q-grams; ``merge`` unions group contents.  Similarity checks then only
+    happen within each token's group.
+    """
+
+    name = "token_filter"
+
+    def __init__(self, q: int = 3, term_func: Callable[[Any], str] | None = None,
+                 inner: Monoid | None = None):
+        from ..cleaning.tokenize import qgrams
+
+        self.q = q
+        term = term_func or (lambda x: x)
+        super().__init__(
+            keys_func=lambda value: set(qgrams(term(value), q)) or {""},
+            inner=inner,
+            value_func=lambda x: x,
+        )
+
+
+class KMeansAssignMonoid(MultiGroupMonoid):
+    """Single-pass k-means center assignment as a monoid (§4.3).
+
+    Centers are fixed up front (see :class:`FunctionCompositionMonoid` /
+    reservoir sampling for initialization); each element is assigned to every
+    center whose distance is within ``delta`` of the minimum, which favors
+    the multiple-assignment behaviour of ClusterJoin.  With fixed centers the
+    assignment of each element is independent, hence trivially associative.
+    """
+
+    name = "kmeans_assign"
+
+    def __init__(self, centers: Sequence[str], metric: str = "LD",
+                 delta: float = 0.0, term_func: Callable[[Any], str] | None = None,
+                 inner: Monoid | None = None):
+        from ..cleaning.similarity import get_metric
+
+        if not centers:
+            raise MonoidError("k-means assignment requires at least one center")
+        self.centers = list(centers)
+        self.metric = metric
+        self.delta = delta
+        sim = get_metric(metric)
+        term = term_func or (lambda x: x)
+
+        def assign(value: Any) -> list[int]:
+            text = term(value)
+            sims = [sim(text, center) for center in self.centers]
+            best = max(sims)
+            return [i for i, s in enumerate(sims) if s >= best - delta]
+
+        super().__init__(keys_func=assign, inner=inner)
+
+
+class IterationMonoid(Monoid):
+    """The iteration monoid of §4.3 ("syntactic sugar in place of the n
+    comprehensions"): represents multi-pass algorithms as a foldLeft that
+    threads a state through successive passes.
+
+    Elements are *passes* — functions ``state -> state`` — and ``run``
+    applies the folded pipeline to an initial state for a fixed number of
+    rounds (the paper's n equivalent comprehensions).  Multi-pass k-means
+    and hierarchical clustering are its instances.
+    """
+
+    name = "iterate"
+    commutative = False
+
+    def zero(self) -> Callable[[Any], Any]:
+        return lambda state: state
+
+    def unit(self, step: Callable[[Any], Any]) -> Callable[[Any], Any]:
+        return step
+
+    def merge(
+        self, first: Callable[[Any], Any], second: Callable[[Any], Any]
+    ) -> Callable[[Any], Any]:
+        return lambda state: second(first(state))
+
+    def run(self, step: Callable[[Any], Any], initial: Any, rounds: int) -> Any:
+        """Apply ``step`` ``rounds`` times — n comprehensions, one state."""
+        pipeline = self.fold([step] * max(0, rounds))
+        return pipeline(initial)
+
+
+class FunctionCompositionMonoid(Monoid):
+    """Composition of associative state-transformers (§4.3).
+
+    Elements are functions ``state -> state``; ``merge`` composes them and
+    ``zero`` is the identity function.  CleanM parameterizes this monoid to
+    run reservoir-sampling-style center initialization as a single pass.
+    """
+
+    name = "compose"
+    commutative = False
+
+    def zero(self) -> Callable[[Any], Any]:
+        return lambda state: state
+
+    def unit(self, func: Callable[[Any], Any]) -> Callable[[Any], Any]:
+        return func
+
+    def merge(
+        self, left: Callable[[Any], Any], right: Callable[[Any], Any]
+    ) -> Callable[[Any], Any]:
+        return lambda state: right(left(state))
+
+
+# ---------------------------------------------------------------------- #
+# Registry & law checking
+# ---------------------------------------------------------------------- #
+_REGISTRY: dict[str, Callable[[], Monoid]] = {
+    "sum": SumMonoid,
+    "count": CountMonoid,
+    "max": MaxMonoid,
+    "min": MinMonoid,
+    "all": AllMonoid,
+    "any": AnyMonoid,
+    "avg": AvgMonoid,
+    "list": ListMonoid,
+    "bag": BagMonoid,
+    "set": SetMonoid,
+}
+
+
+def get_monoid(name: str) -> Monoid:
+    """Instantiate a registered monoid by name (used by the parser)."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise MonoidError(f"unknown monoid {name!r}; known: {known}") from None
+
+
+def register_monoid(name: str, factory: Callable[[], Monoid]) -> None:
+    """Extensibility hook: add a user-defined monoid (§4.3)."""
+    _REGISTRY[name] = factory
+
+
+def check_monoid_laws(
+    monoid: Monoid, samples: Sequence[Any], normalize: Callable[[Any], Any] | None = None
+) -> None:
+    """Assert identity and associativity over concrete samples.
+
+    ``normalize`` canonicalizes carrier values before comparison (e.g. sort a
+    bag) so that law checks are insensitive to representation details.
+    Raises :class:`MonoidError` on the first violated law.
+    """
+    canon = normalize or (lambda x: x)
+    units = [monoid.unit(s) for s in samples]
+    zero = monoid.zero()
+    for u in units:
+        left_identity = monoid.merge(monoid.zero(), u)
+        right_identity = monoid.merge(u, monoid.zero())
+        if canon(left_identity) != canon(u) or canon(right_identity) != canon(u):
+            raise MonoidError(f"{monoid.name}: identity law violated for {u!r}")
+    _ = zero
+    for a in units:
+        for b in units:
+            for c in units:
+                left = monoid.merge(monoid.merge(a, b), c)
+                right = monoid.merge(a, monoid.merge(b, c))
+                if canon(left) != canon(right):
+                    raise MonoidError(
+                        f"{monoid.name}: associativity violated for "
+                        f"{a!r}, {b!r}, {c!r}"
+                    )

@@ -1,0 +1,28 @@
+"""Physical level — CleanM's third abstraction level (§6)."""
+
+from .codegen import CodeGenerator, GeneratedPlan, compile_expr, generate_code
+from .functions import DEFAULT_FUNCTIONS, prefix, register_function
+from .lower import Executor, PhysicalConfig
+from .stats import (
+    Histogram,
+    KeyStats,
+    build_histogram,
+    collect_key_stats,
+    zipf_skew_estimate,
+)
+from .theta_join import (
+    self_theta_join,
+    theta_join_cartesian,
+    theta_join_matrix,
+    theta_join_minmax,
+)
+
+__all__ = [
+    "CodeGenerator", "GeneratedPlan", "compile_expr", "generate_code",
+    "DEFAULT_FUNCTIONS", "prefix", "register_function",
+    "Executor", "PhysicalConfig",
+    "Histogram", "KeyStats", "build_histogram", "collect_key_stats",
+    "zipf_skew_estimate",
+    "self_theta_join", "theta_join_cartesian", "theta_join_matrix",
+    "theta_join_minmax",
+]

@@ -1,0 +1,382 @@
+"""The Code Generator (Fig. 2): compile physical plans to Python source.
+
+The paper's CleanDB "dynamically generates the Spark script that represents
+the input query to reduce the interpretation overhead that hurts the
+performance of pipelined query engines" (§7).  This module does the same
+for our engine: calculus expressions are compiled to plain Python
+expressions over the environment dictionary (no AST walking at runtime),
+and the algebra plan becomes a generated ``run(cluster, catalog, F, M)``
+function of chained Dataset calls.
+
+The generated source is readable, inspectable (``GeneratedPlan.source``),
+and differential-tested against the interpreting Executor — same results,
+less per-record overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..algebra.operators import (
+    TRUE,
+    AlgebraOp,
+    Join,
+    Nest,
+    Reduce,
+    Scan,
+    Select,
+    SharedScanDAG,
+    Unnest,
+)
+from ..errors import PlanningError
+from ..monoid.expressions import (
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    If,
+    Proj,
+    RecordCons,
+    UnaryOp,
+    Var,
+)
+from ..monoid.monoids import Monoid
+from .functions import DEFAULT_FUNCTIONS
+from .lower import PhysicalConfig, _freeze, _is_collection
+
+_BINOP_TEMPLATES = {
+    "+": "({l} + {r})",
+    "-": "({l} - {r})",
+    "*": "({l} * {r})",
+    "/": "({l} / {r})",
+    "%": "({l} % {r})",
+    "==": "({l} == {r})",
+    "!=": "({l} != {r})",
+    "<": "({l} < {r})",
+    "<=": "({l} <= {r})",
+    ">": "({l} > {r})",
+    ">=": "({l} >= {r})",
+    "and": "({l} and {r})",
+    "or": "({l} or {r})",
+}
+
+
+def compile_expr(expr: Expr) -> str:
+    """Compile a calculus expression to a Python expression over ``env``.
+
+    ``env`` is the environment dict, ``F`` the function registry.  Only the
+    expression forms that survive normalization are supported; nested
+    comprehensions must have been translated away by the algebra level.
+    """
+    if isinstance(expr, Const):
+        return repr(expr.value)
+    if isinstance(expr, Var):
+        return f"env[{expr.name!r}]"
+    if isinstance(expr, Proj):
+        return f"{compile_expr(expr.source)}[{expr.attr!r}]"
+    if isinstance(expr, RecordCons):
+        fields = ", ".join(
+            f"{name!r}: {compile_expr(sub)}" for name, sub in expr.fields
+        )
+        return "{" + fields + "}"
+    if isinstance(expr, BinOp):
+        try:
+            template = _BINOP_TEMPLATES[expr.op]
+        except KeyError:
+            raise PlanningError(f"cannot compile operator {expr.op!r}") from None
+        return template.format(l=compile_expr(expr.left), r=compile_expr(expr.right))
+    if isinstance(expr, UnaryOp):
+        if expr.op == "not":
+            return f"(not {compile_expr(expr.operand)})"
+        if expr.op == "-":
+            return f"(-{compile_expr(expr.operand)})"
+        raise PlanningError(f"cannot compile unary operator {expr.op!r}")
+    if isinstance(expr, Call):
+        args = ", ".join(compile_expr(a) for a in expr.args)
+        return f"F[{expr.name!r}]({args})"
+    if isinstance(expr, If):
+        return (
+            f"({compile_expr(expr.then_branch)} if {compile_expr(expr.cond)} "
+            f"else {compile_expr(expr.else_branch)})"
+        )
+    raise PlanningError(
+        f"cannot generate code for expression {type(expr).__name__}; "
+        "normalize and translate the query first"
+    )
+
+
+@dataclass
+class GeneratedPlan:
+    """Generated Python source plus the objects it closes over."""
+
+    source: str
+    monoids: dict[str, Monoid]
+    config: PhysicalConfig
+
+    def run(
+        self,
+        cluster,
+        catalog: dict[str, Any],
+        functions: dict[str, Callable] | None = None,
+    ):
+        """Execute the generated script."""
+        funcs = dict(DEFAULT_FUNCTIONS)
+        if functions:
+            funcs.update(functions)
+        namespace: dict[str, Any] = {"_freeze": _freeze}
+        exec(compile(self.source, "<generated-plan>", "exec"), namespace)
+        return namespace["run"](cluster, catalog, funcs, self.monoids)
+
+
+class CodeGenerator:
+    """Walks an algebra plan, emitting one statement per operator."""
+
+    def __init__(self, config: PhysicalConfig | None = None):
+        self.config = config or PhysicalConfig()
+        self._lines: list[str] = []
+        self._counter = 0
+        self._monoids: dict[str, Monoid] = {}
+        self._scan_vars: dict[tuple[str, str], str] = {}
+
+    def generate(self, plan: AlgebraOp) -> GeneratedPlan:
+        self._lines = [
+            "def run(cluster, catalog, F, M):",
+        ]
+        self._counter = 0
+        self._monoids = {}
+        self._scan_vars = {}
+        if isinstance(plan, SharedScanDAG):
+            names = plan.branch_names or tuple(
+                f"branch{i}" for i in range(len(plan.branches))
+            )
+            nest_vars: dict[str, str] = {}
+            results: list[str] = []
+            for name, branch in zip(names, plan.branches):
+                var = self._emit(branch, nest_vars)
+                results.append(f"{name!r}: {var}")
+            self._lines.append("    return {" + ", ".join(results) + "}")
+        else:
+            var = self._emit(plan, {})
+            self._lines.append(f"    return {var}")
+        return GeneratedPlan(
+            source="\n".join(self._lines) + "\n",
+            monoids=self._monoids,
+            config=self.config,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _fresh(self, prefix: str = "ds") -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    def _monoid(self, monoid: Monoid) -> str:
+        key = f"m{len(self._monoids)}"
+        self._monoids[key] = monoid
+        return f"M[{key!r}]"
+
+    def _stmt(self, line: str) -> None:
+        self._lines.append("    " + line)
+
+    def _emit(self, op: AlgebraOp, nest_vars: dict[str, str]) -> str:
+        if isinstance(op, Scan):
+            cache_key = (op.table, op.var)
+            if cache_key in self._scan_vars:
+                return self._scan_vars[cache_key]
+            var = self._fresh()
+            self._stmt(
+                f"{var} = cluster.parallelize(({{{op.var!r}: r}} for r in "
+                f"catalog[{op.table!r}]), fmt={op.fmt!r}, name={op.table!r})"
+            )
+            self._scan_vars[cache_key] = var
+            return var
+        if isinstance(op, Select):
+            child = self._emit(op.child, nest_vars)
+            var = self._fresh()
+            self._stmt(
+                f"{var} = {child}.filter(lambda env: bool({compile_expr(op.predicate)}), "
+                f"name='select')"
+            )
+            return var
+        if isinstance(op, Unnest):
+            return self._emit_unnest(op, nest_vars)
+        if isinstance(op, Join):
+            return self._emit_join(op, nest_vars)
+        if isinstance(op, Nest):
+            signature = op.describe()
+            if signature in nest_vars:
+                return nest_vars[signature]
+            var = self._emit_nest(op)
+            nest_vars[signature] = var
+            return var
+        if isinstance(op, Reduce):
+            return self._emit_reduce(op, nest_vars)
+        raise PlanningError(f"cannot generate code for {type(op).__name__}")
+
+    def _emit_unnest(self, op: Unnest, nest_vars: dict[str, str]) -> str:
+        child = self._emit(op.child, nest_vars)
+        var = self._fresh()
+        path = compile_expr(op.path)
+        pred = (
+            "True"
+            if op.predicate == TRUE
+            else compile_expr(op.predicate).replace("env[", "inner[")
+        )
+        # Build the expansion as a helper to keep the lambda readable.
+        helper = self._fresh("expand")
+        self._stmt(f"def {helper}(env):")
+        self._stmt(f"    items = {path} or []")
+        self._stmt(f"    out = [dict(env, **{{{op.var!r}: item}}) for item in items]")
+        if op.predicate != TRUE:
+            inner_pred = compile_expr(op.predicate)
+            self._stmt(
+                f"    out = [inner for inner in out "
+                f"if (lambda env: bool({inner_pred}))(inner)]"
+            )
+        if op.outer:
+            self._stmt(f"    return out or [dict(env, **{{{op.var!r}: None}})]")
+        else:
+            self._stmt("    return out")
+        name = "outerUnnest" if op.outer else "unnest"
+        self._stmt(f"{var} = {child}.flat_map({helper}, name={name!r})")
+        return var
+
+    def _emit_join(self, op: Join, nest_vars: dict[str, str]) -> str:
+        left = self._emit(op.left, nest_vars)
+        right = self._emit(op.right, nest_vars)
+        var = self._fresh()
+        if op.left_keys:
+            lk = ", ".join(f"_freeze({compile_expr(k)})" for k in op.left_keys)
+            rk = ", ".join(f"_freeze({compile_expr(k)})" for k in op.right_keys)
+            self._stmt(
+                f"kl = {left}.map(lambda env: (({lk},), env), name='join:keyL')"
+            )
+            self._stmt(
+                f"kr = {right}.map(lambda env: (({rk},), env), name='join:keyR')"
+            )
+            join_call = "kl.left_outer_join(kr)" if op.outer else "kl.join(kr)"
+            self._stmt(
+                f"{var} = {join_call}.map(lambda kv: "
+                "{**kv[1][0], **(kv[1][1] or {})}, name='join:merge')"
+            )
+            if op.predicate != TRUE:
+                filtered = self._fresh()
+                self._stmt(
+                    f"{filtered} = {var}.filter(lambda env: "
+                    f"bool({compile_expr(op.predicate)}), name='join:residual')"
+                )
+                return filtered
+            return var
+        # Theta join: generated code calls the library operator directly.
+        pred = compile_expr(op.predicate)
+        self._stmt(
+            f"pair_pred = lambda l_env, r_env: "
+            f"(lambda env: bool({pred}))({{**l_env, **r_env}})"
+        )
+        if self.config.theta == "matrix":
+            self._stmt("from repro.physical.theta_join import theta_join_matrix")
+            self._stmt(f"{var} = theta_join_matrix({left}, {right}, pair_pred)")
+        else:
+            self._stmt("from repro.physical.theta_join import theta_join_cartesian")
+            self._stmt(f"{var} = theta_join_cartesian({left}, {right}, pair_pred)")
+        merged = self._fresh()
+        self._stmt(
+            f"{merged} = {var}.map(lambda lr: {{**lr[0], **lr[1]}}, name='join:merge')"
+        )
+        return merged
+
+    def _emit_nest(self, op: Nest) -> str:
+        child_var = self._emit(op.child, {})
+        var = self._fresh()
+        key = compile_expr(op.key)
+        multi = bool(getattr(op, "multi", False))
+        if multi:
+            self._stmt(
+                f"keyed = {child_var}.flat_map(lambda env: "
+                f"[(_freeze(k), env) for k in {key}], name='nest:multiKey')"
+            )
+        else:
+            self._stmt(
+                f"keyed = {child_var}.map(lambda env: (_freeze({key}), env), "
+                f"name='nest:keyBy')"
+            )
+        agg_units = ", ".join(
+            f"{name!r}: {self._monoid(monoid)}.unit({compile_expr(head)})"
+            for name, monoid, head in op.aggregates
+        )
+        merges = ", ".join(
+            f"{name!r}: {self._monoid(monoid)}.merge(a[{name!r}], b[{name!r}])"
+            for name, monoid, _ in op.aggregates
+        )
+        self._stmt(f"unit = lambda env: {{{agg_units}}}")
+        self._stmt(f"merge = lambda a, b: {{{merges}}}")
+        if self.config.grouping == "aggregate":
+            self._stmt(
+                "grouped = keyed.aggregate_by_key("
+                "lambda: None, "
+                "lambda acc, env: unit(env) if acc is None else merge(acc, unit(env)), "
+                "lambda a, b: merge(a, b) if a and b else (a or b), "
+                "name='nest:aggregateByKey')"
+            )
+        else:
+            kind = self.config.grouping
+            self._stmt(
+                f"raw = keyed.group_by_key(shuffle_kind={kind!r}, name='nest:groupByKey')"
+            )
+            self._stmt("def _fold(kv):")
+            self._stmt("    state = None")
+            self._stmt("    for env in kv[1]:")
+            self._stmt("        u = unit(env)")
+            self._stmt("        state = u if state is None else merge(state, u)")
+            self._stmt("    return (kv[0], state or {})")
+            self._stmt("grouped = raw.map(_fold, name='nest:fold')")
+        # Key-first field order matches the interpreting executor exactly.
+        self._stmt(
+            f"{var} = grouped.map(lambda kv: "
+            f"{{{op.var!r}: {{'key': kv[0], **kv[1]}}}}, name='nest:emit')"
+        )
+        if op.group_predicate != TRUE:
+            filtered = self._fresh()
+            self._stmt(
+                f"{filtered} = {var}.filter(lambda env: "
+                f"bool({compile_expr(op.group_predicate)}), name='nest:having')"
+            )
+            return filtered
+        return var
+
+    def _emit_reduce(self, op: Reduce, nest_vars: dict[str, str]) -> str:
+        child = self._emit(op.child, nest_vars)
+        var = self._fresh()
+        source = child
+        if op.predicate != TRUE:
+            self._stmt(
+                f"{var}_f = {child}.filter(lambda env: "
+                f"bool({compile_expr(op.predicate)}), name='reduce:filter')"
+            )
+            source = f"{var}_f"
+        head = compile_expr(op.head)
+        self._stmt(
+            f"{var}_h = {source}.map(lambda env: {head}, name='reduce:head')"
+        )
+        if _is_collection(op.monoid):
+            if op.monoid.idempotent:
+                self._stmt(f"{var} = {var}_h.distinct()")
+            else:
+                self._stmt(f"{var} = {var}_h")
+            return var
+        monoid_ref = self._monoid(op.monoid)
+        self._stmt(
+            f"{var}_p = {var}_h.map_partitions("
+            f"lambda part: [{monoid_ref}.fold(part)], name='reduce:partialFold')"
+        )
+        self._stmt(f"{var} = {monoid_ref}.zero()")
+        self._stmt(f"for _partial in {var}_p.collect():")
+        self._stmt(f"    {var} = {monoid_ref}.merge({var}, _partial)")
+        return var
+
+
+def generate_code(
+    plan: AlgebraOp, config: PhysicalConfig | None = None
+) -> GeneratedPlan:
+    """Generate an executable Python script for an algebra plan."""
+    return CodeGenerator(config).generate(plan)

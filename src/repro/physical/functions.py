@@ -1,0 +1,61 @@
+"""The built-in function registry available to CleanM expressions.
+
+These are the functions a CleanM query may call (``prefix(c.phone)``,
+``similar(...)``, ``tokenize(...)``); the physical executor passes this
+registry to the expression evaluator.  ``register_function`` is the
+extensibility hook for user-defined scalar functions — because they are
+evaluated through the same expression interpreter, they stay visible to the
+optimizer instead of becoming black-box UDFs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..cleaning.similarity import get_metric, similar
+from ..cleaning.tokenize import qgrams
+
+
+def prefix(value: Any, length: int = 3) -> str:
+    """The paper's ``prefix(phone)`` helper: the first digits of a phone."""
+    return str(value)[:length]
+
+
+def _count(collection: Any) -> int:
+    return len(collection)
+
+
+def _distinct_count(collection: Any) -> int:
+    return len(set(_hashable(v) for v in collection))
+
+
+def _hashable(value: Any) -> Any:
+    if isinstance(value, dict):
+        return tuple(sorted((k, _hashable(v)) for k, v in value.items()))
+    if isinstance(value, (list, set)):
+        return tuple(_hashable(v) for v in value)
+    return value
+
+
+DEFAULT_FUNCTIONS: dict[str, Callable] = {
+    "prefix": prefix,
+    "similar": lambda metric, a, b, theta: similar(metric, str(a), str(b), theta),
+    "similarity": lambda metric, a, b: get_metric(metric)(str(a), str(b)),
+    "tokenize": lambda s, q=3: qgrams(str(s), int(q)),
+    "count": _count,
+    "len": _count,
+    "distinct_count": _distinct_count,
+    "lower": lambda s: str(s).lower(),
+    "upper": lambda s: str(s).upper(),
+    "abs": abs,
+    "min": min,
+    "max": max,
+    "sum": sum,
+    "concat": lambda *parts: "".join(str(p) for p in parts),
+    "coalesce": lambda *vals: next((v for v in vals if v is not None), None),
+}
+
+
+def register_function(name: str, func: Callable) -> None:
+    """Add a scalar function usable from CleanM queries."""
+    DEFAULT_FUNCTIONS[name] = func

@@ -1,0 +1,368 @@
+"""Physical lowering: executing algebra plans on the engine (§6, Table 2).
+
+=================  ===================================================
+Algebra operator   Engine translation
+=================  ===================================================
+σ_p                ``filter``
+Δ^e_p              ``map`` → ``filter`` (fold on the driver for
+                   primitive monoids)
+μ/μ̄ (unnest)      ``flatMap`` over the path field
+Γ (nest)           ``aggregateByKey`` → ``mapPartitions``  (CleanDB) or
+                   ``groupByKey`` with sort/hash shuffle  (baselines)
+⋈ equi             ``join`` / ``leftOuterJoin``
+⋈ theta            matrix theta join (CleanDB) or cartesian → filter
+=================  ===================================================
+
+Records flowing between operators are *environments*: dictionaries mapping
+the plan's bound variable names to values.  A Scan binds its variable to
+each source record; Join merges environments; Nest produces a group record
+``{key, partition, ...aggregates}`` bound to the Nest's variable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..algebra.operators import (
+    TRUE,
+    AlgebraOp,
+    Join,
+    Nest,
+    Reduce,
+    Scan,
+    Select,
+    SharedScanDAG,
+    Unnest,
+)
+from ..engine.cluster import Cluster
+from ..engine.dataset import Dataset
+from ..errors import PlanningError, SchemaError
+from ..monoid.expressions import Expr, evaluate
+from ..monoid.monoids import Monoid
+from .functions import DEFAULT_FUNCTIONS
+from .theta_join import theta_join_cartesian, theta_join_matrix
+
+
+@dataclass
+class PhysicalConfig:
+    """The physical-level knobs the §8 experiments turn.
+
+    ``grouping``: ``"aggregate"`` (CleanDB local pre-aggregation), ``"sort"``
+    (Spark SQL), or ``"hash"`` (BigDansing).
+    ``theta``: ``"matrix"`` (CleanDB) or ``"cartesian"`` (Spark SQL).
+    """
+
+    grouping: str = "aggregate"
+    theta: str = "matrix"
+
+
+class Executor:
+    """Interprets an algebra plan over a cluster and a catalog.
+
+    ``catalog`` maps table names to record lists (or Datasets); formats are
+    taken from each Scan node so the per-format scan cost applies.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        catalog: dict[str, Any],
+        config: PhysicalConfig | None = None,
+        functions: dict[str, Callable] | None = None,
+    ):
+        self.cluster = cluster
+        self.catalog = catalog
+        self.config = config or PhysicalConfig()
+        self.functions = dict(DEFAULT_FUNCTIONS)
+        if functions:
+            self.functions.update(functions)
+        self._scan_cache: dict[tuple[str, str], Dataset] = {}
+
+    # ------------------------------------------------------------------ #
+    def execute(self, op: AlgebraOp) -> Any:
+        """Run a plan.  Collection results are Datasets; a Reduce with a
+        primitive monoid returns its folded scalar; a SharedScanDAG returns
+        ``{branch_name: result}``."""
+        if isinstance(op, Scan):
+            return self._scan(op)
+        if isinstance(op, Select):
+            return self._select(op)
+        if isinstance(op, Join):
+            return self._join(op)
+        if isinstance(op, Unnest):
+            return self._unnest(op)
+        if isinstance(op, Nest):
+            return self._nest(op)
+        if isinstance(op, Reduce):
+            return self._reduce(op)
+        if isinstance(op, SharedScanDAG):
+            return self._dag(op)
+        raise PlanningError(f"no physical translation for {type(op).__name__}")
+
+    # ------------------------------------------------------------------ #
+    def _eval(self, expr: Expr, env: dict) -> Any:
+        return evaluate(expr, env, self.functions)
+
+    def _predicate(self, expr: Expr) -> Callable[[dict], bool]:
+        if expr == TRUE:
+            return lambda env: True
+        return lambda env: bool(self._eval(expr, env))
+
+    def _scan(self, op: Scan) -> Dataset:
+        cache_key = (op.table, op.var)
+        if cache_key in self._scan_cache:
+            return self._scan_cache[cache_key]
+        try:
+            source = self.catalog[op.table]
+        except KeyError:
+            raise SchemaError(f"unknown table {op.table!r}") from None
+        if isinstance(source, Dataset):
+            ds = source.map(lambda r, _v=op.var: {_v: r}, name=f"scan:{op.table}:bind")
+        else:
+            ds = self.cluster.parallelize(
+                ({op.var: record} for record in source),
+                fmt=op.fmt,
+                name=op.table,
+            )
+        self._scan_cache[cache_key] = ds
+        return ds
+
+    def _select(self, op: Select) -> Dataset:
+        child = self.execute(op.child)
+        pred = self._predicate(op.predicate)
+        return child.filter(pred, name="select")
+
+    def _unnest(self, op: Unnest) -> Dataset:
+        child = self.execute(op.child)
+        pred = self._predicate(op.predicate)
+
+        def expand(env: dict) -> list[dict]:
+            items = self._eval(op.path, env)
+            out = []
+            if items:
+                for item in items:
+                    extended = {**env, op.var: item}
+                    if pred(extended):
+                        out.append(extended)
+            if not out and op.outer:
+                out.append({**env, op.var: None})
+            return out
+
+        name = "outerUnnest" if op.outer else "unnest"
+        return child.flat_map(expand, name=name)
+
+    def _join(self, op: Join) -> Dataset:
+        left = self.execute(op.left)
+        right = self.execute(op.right)
+        if op.left_keys:
+            return self._equi_join(op, left, right)
+        return self._theta_join(op, left, right)
+
+    def _equi_join(self, op: Join, left: Dataset, right: Dataset) -> Dataset:
+        lk, rk = op.left_keys, op.right_keys
+
+        def left_key(env: dict) -> Any:
+            return tuple(_freeze(self._eval(k, env)) for k in lk)
+
+        def right_key(env: dict) -> Any:
+            return tuple(_freeze(self._eval(k, env)) for k in rk)
+
+        keyed_l = left.map(lambda env: (left_key(env), env), name="join:keyL")
+        keyed_r = right.map(lambda env: (right_key(env), env), name="join:keyR")
+        joined = (
+            keyed_l.left_outer_join(keyed_r)
+            if op.outer
+            else keyed_l.join(keyed_r)
+        )
+        # Unmatched left rows in an outer join still bind the right side's
+        # variables — to None (the μ̄/⟗ semantics of Table 1).
+        from ..algebra.translate import _bound_vars
+
+        right_vars = _bound_vars(op.right)
+        null_right = {var: None for var in right_vars}
+
+        def merge(kv):
+            left_env, right_env = kv[1]
+            if right_env is None:
+                return {**left_env, **null_right}
+            return {**left_env, **right_env}
+
+        merged = joined.map(merge, name="join:merge")
+        if op.predicate != TRUE:
+            merged = merged.filter(self._predicate(op.predicate), name="join:residual")
+        return merged
+
+    def _theta_join(self, op: Join, left: Dataset, right: Dataset) -> Dataset:
+        pred = op.predicate
+
+        def pair_pred(l_env: dict, r_env: dict) -> bool:
+            return bool(self._eval(pred, {**l_env, **r_env}))
+
+        if self.config.theta == "matrix":
+            joined = theta_join_matrix(left, right, pair_pred)
+        elif self.config.theta == "cartesian":
+            joined = theta_join_cartesian(left, right, pair_pred)
+        else:
+            raise PlanningError(f"unknown theta strategy {self.config.theta!r}")
+        return joined.map(lambda lr: {**lr[0], **lr[1]}, name="join:merge")
+
+    def _nest(self, op: Nest) -> Dataset:
+        child = self.execute(op.child)
+        multi = bool(getattr(op, "multi", False))
+        aggs = op.aggregates
+
+        if multi:
+            def key_records(env: dict) -> list[tuple[Any, dict]]:
+                keys = self._eval(op.key, env)
+                return [(_freeze(k), env) for k in keys]
+
+            keyed = child.flat_map(key_records, name="nest:multiKey")
+        else:
+            keyed = child.map(
+                lambda env: (_freeze(self._eval(op.key, env)), env),
+                name="nest:keyBy",
+            )
+
+        def agg_unit(env: dict) -> dict[str, Any]:
+            return {
+                name: monoid.unit(self._eval(head, env))
+                for name, monoid, head in aggs
+            }
+
+        def merge_states(a: dict[str, Any], b: dict[str, Any]) -> dict[str, Any]:
+            return {
+                name: monoid.merge(a[name], b[name])
+                for name, monoid, _ in aggs
+            }
+
+        if self.config.grouping == "aggregate":
+            def seq(acc: dict | None, env: dict) -> dict:
+                unit = agg_unit(env)
+                return unit if acc is None else merge_states(acc, unit)
+
+            grouped = keyed.aggregate_by_key(
+                lambda: None, seq,
+                lambda a, b: merge_states(a, b) if a and b else (a or b),
+                name="nest:aggregateByKey",
+            )
+        elif self.config.grouping in ("sort", "hash"):
+            raw = keyed.group_by_key(
+                shuffle_kind=self.config.grouping, name="nest:groupByKey"
+            )
+
+            def fold(kv: tuple[Any, list]) -> tuple[Any, dict]:
+                key, envs = kv
+                state: dict | None = None
+                for env in envs:
+                    unit = agg_unit(env)
+                    state = unit if state is None else merge_states(state, unit)
+                return (key, state or {})
+
+            grouped = raw.map(fold, name="nest:fold")
+        else:
+            raise PlanningError(f"unknown grouping strategy {self.config.grouping!r}")
+
+        def to_group_record(kv: tuple[Any, dict]) -> dict:
+            key, state = kv
+            group = {"key": key, **state}
+            return {op.var: group}
+
+        out = grouped.map(to_group_record, name="nest:emit")
+        if op.group_predicate != TRUE:
+            out = out.filter(self._predicate(op.group_predicate), name="nest:having")
+        return out
+
+    def _reduce(self, op: Reduce) -> Any:
+        child = self.execute(op.child)
+        if op.predicate != TRUE:
+            child = child.filter(self._predicate(op.predicate), name="reduce:filter")
+        heads = child.map(lambda env: self._eval(op.head, env), name="reduce:head")
+        if _is_collection(op.monoid):
+            if op.monoid.idempotent:  # set semantics: drop duplicates
+                return heads.distinct()
+            return heads
+        # Primitive monoid: partial folds per partition, merged on the driver.
+        partials = heads.map_partitions(
+            lambda part: [op.monoid.fold(part)], name="reduce:partialFold"
+        )
+        result = op.monoid.zero()
+        for partial in partials.collect():
+            result = op.monoid.merge(result, partial)
+        return result
+
+    def _dag(self, op: SharedScanDAG) -> dict[str, Any]:
+        # Materialize the shared scan once; every branch Scan with the same
+        # (table, var) hits the cache.
+        self._scan(op.scan)
+        names = op.branch_names or tuple(
+            f"branch{i}" for i in range(len(op.branches))
+        )
+        results: dict[str, Any] = {}
+        # Nest results are shared across branches via signature caching.
+        nest_cache: dict[str, Dataset] = {}
+        for name, branch in zip(names, op.branches):
+            results[name] = self._execute_cached(branch, nest_cache)
+        return results
+
+    def _execute_cached(self, op: AlgebraOp, nest_cache: dict[str, Dataset]) -> Any:
+        """Execute a DAG branch, reusing coalesced Nest outputs by signature."""
+        if isinstance(op, Nest):
+            signature = op.describe()
+            if signature not in nest_cache:
+                nest_cache[signature] = self._nest(op)
+            return nest_cache[signature]
+        if isinstance(op, Select):
+            child = self._execute_cached(op.child, nest_cache)
+            return child.filter(self._predicate(op.predicate), name="select")
+        if isinstance(op, Unnest):
+            child = self._execute_cached(op.child, nest_cache)
+            pred = self._predicate(op.predicate)
+
+            def expand(env: dict, _op=op, _pred=pred) -> list[dict]:
+                items = self._eval(_op.path, env)
+                out = []
+                if items:
+                    for item in items:
+                        extended = {**env, _op.var: item}
+                        if _pred(extended):
+                            out.append(extended)
+                if not out and _op.outer:
+                    out.append({**env, _op.var: None})
+                return out
+
+            name = "outerUnnest" if op.outer else "unnest"
+            return child.flat_map(expand, name=name)
+        if isinstance(op, Reduce):
+            inner = op.child
+            child = self._execute_cached(inner, nest_cache)
+            if op.predicate != TRUE:
+                child = child.filter(self._predicate(op.predicate), name="reduce:filter")
+            heads = child.map(lambda env: self._eval(op.head, env), name="reduce:head")
+            if _is_collection(op.monoid):
+                if op.monoid.idempotent:
+                    return heads.distinct()
+                return heads
+            partials = heads.map_partitions(
+                lambda part: [op.monoid.fold(part)], name="reduce:partialFold"
+            )
+            result = op.monoid.zero()
+            for partial in partials.collect():
+                result = op.monoid.merge(result, partial)
+            return result
+        return self.execute(op)
+
+
+def _freeze(value: Any) -> Any:
+    """Make a grouping key hashable."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, set, frozenset)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+def _is_collection(monoid: Monoid) -> bool:
+    return monoid.name in {
+        "bag", "list", "set", "group", "multigroup", "token_filter", "kmeans_assign",
+    }

@@ -1,0 +1,125 @@
+"""Data statistics used by the physical planner (§6).
+
+CleanDB "spends more effort to obtain global data statistics" than its
+competitors: equi-width histograms over join/grouping keys drive the matrix
+partitioning of the theta join and let the planner flag skewed keys ahead of
+time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """An equi-width histogram over a numeric key."""
+
+    low: float
+    high: float
+    counts: tuple[int, ...]
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    @property
+    def num_buckets(self) -> int:
+        return len(self.counts)
+
+    def bucket_of(self, value: float) -> int:
+        if self.high == self.low:
+            return 0
+        index = int((value - self.low) / (self.high - self.low) * self.num_buckets)
+        return min(max(index, 0), self.num_buckets - 1)
+
+    def selectivity(self, low: float, high: float) -> float:
+        """Approximate fraction of values falling inside ``[low, high]``."""
+        if self.total == 0:
+            return 0.0
+        covered = sum(
+            count
+            for i, count in enumerate(self.counts)
+            if self._bucket_low(i) <= high and self._bucket_high(i) >= low
+        )
+        return covered / self.total
+
+    def _bucket_low(self, i: int) -> float:
+        width = (self.high - self.low) / self.num_buckets
+        return self.low + i * width
+
+    def _bucket_high(self, i: int) -> float:
+        width = (self.high - self.low) / self.num_buckets
+        return self.low + (i + 1) * width
+
+
+def build_histogram(
+    values: Iterable[float], num_buckets: int = 32
+) -> Histogram:
+    """One pass over ``values``; empty input yields a degenerate histogram."""
+    data = [float(v) for v in values]
+    if not data:
+        return Histogram(0.0, 0.0, tuple([0] * max(1, num_buckets)))
+    low, high = min(data), max(data)
+    counts = [0] * max(1, num_buckets)
+    if high == low:
+        counts[0] = len(data)
+        return Histogram(low, high, tuple(counts))
+    span = high - low
+    for v in data:
+        index = min(int((v - low) / span * num_buckets), num_buckets - 1)
+        counts[index] += 1
+    return Histogram(low, high, tuple(counts))
+
+
+@dataclass(frozen=True)
+class KeyStats:
+    """Frequency statistics of a grouping key."""
+
+    distinct: int
+    total: int
+    max_frequency: int
+    top_keys: tuple[tuple[Any, int], ...]
+
+    @property
+    def skew_ratio(self) -> float:
+        """Max key frequency relative to a uniform spread (1.0 = uniform)."""
+        if self.distinct == 0 or self.total == 0:
+            return 1.0
+        uniform = self.total / self.distinct
+        return self.max_frequency / uniform
+
+    @property
+    def is_skewed(self) -> bool:
+        return self.skew_ratio > 4.0
+
+
+def collect_key_stats(
+    records: Sequence[Any], key_func: Callable[[Any], Any], top: int = 5
+) -> KeyStats:
+    """Exact key-frequency statistics (fine at simulation scale)."""
+    freq: dict[Any, int] = {}
+    for record in records:
+        key = key_func(record)
+        freq[key] = freq.get(key, 0) + 1
+    if not freq:
+        return KeyStats(0, 0, 0, ())
+    ranked = sorted(freq.items(), key=lambda kv: (-kv[1], repr(kv[0])))
+    return KeyStats(
+        distinct=len(freq),
+        total=len(records),
+        max_frequency=ranked[0][1],
+        top_keys=tuple(ranked[:top]),
+    )
+
+
+def zipf_skew_estimate(frequencies: Sequence[int]) -> float:
+    """Rough Zipf exponent fit from a frequency ranking (for reports)."""
+    ranked = sorted((f for f in frequencies if f > 0), reverse=True)
+    if len(ranked) < 2 or ranked[0] == ranked[-1]:
+        return 0.0
+    # Fit log(f_r) = log(f_1) - s*log(r) using the first and last rank.
+    r = len(ranked)
+    return (math.log(ranked[0]) - math.log(ranked[-1])) / math.log(r)

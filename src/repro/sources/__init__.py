@@ -1,0 +1,17 @@
+"""Heterogeneous data sources: CSV, JSON, XML, and a binary columnar format."""
+
+from .catalog import FORMATS, Catalog, SourceEntry, write_records
+from .columnar import file_size, read_columnar, write_columnar
+from .csv_source import read_csv, write_csv
+from .json_source import read_json, write_json
+from .schema import Field, Schema, flatten_records, nest_records
+from .xml_source import read_xml, write_xml
+
+__all__ = [
+    "FORMATS", "Catalog", "SourceEntry", "write_records",
+    "file_size", "read_columnar", "write_columnar",
+    "read_csv", "write_csv",
+    "read_json", "write_json",
+    "Field", "Schema", "flatten_records", "nest_records",
+    "read_xml", "write_xml",
+]

@@ -1,0 +1,108 @@
+"""CSV reader/writer.
+
+The flat text format of the TPC-H experiments (Fig. 6a).  Quoting follows
+RFC 4180 (double quotes, doubled to escape); nested attributes are joined
+with ``|`` on write and split on read when the schema marks them ``list``.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Any, Iterable
+
+from ..errors import DataSourceError
+from .schema import Schema
+
+LIST_SEPARATOR = "|"
+
+
+def write_csv(path: str | Path, records: Iterable[dict[str, Any]], schema: Schema) -> int:
+    """Write records; returns the row count."""
+    count = 0
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        handle.write(",".join(schema.names) + "\n")
+        for record in records:
+            cells = []
+            for f in schema.fields:
+                value = record.get(f.name)
+                if f.type == "list" and isinstance(value, list):
+                    cell = LIST_SEPARATOR.join(str(v) for v in value)
+                else:
+                    cell = "" if value is None else str(value)
+                cells.append(_quote(cell))
+            handle.write(",".join(cells) + "\n")
+            count += 1
+    return count
+
+
+def read_csv(path: str | Path, schema: Schema) -> list[dict[str, Any]]:
+    """Read an entire CSV file into records, casting via the schema."""
+    path = Path(path)
+    if not path.exists():
+        raise DataSourceError(f"no such CSV file: {path}")
+    with open(path, "r", encoding="utf-8") as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise DataSourceError(f"empty CSV file: {path}")
+        header = _parse_line(header_line.rstrip("\n"))
+        if header != schema.names:
+            raise DataSourceError(
+                f"CSV header {header} does not match schema {schema.names}"
+            )
+        records = []
+        for line_number, line in enumerate(handle, start=2):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            cells = _parse_line(line)
+            if len(cells) != len(schema.fields):
+                raise DataSourceError(
+                    f"{path}:{line_number}: expected {len(schema.fields)} cells, "
+                    f"found {len(cells)}"
+                )
+            record: dict[str, Any] = {}
+            for f, cell in zip(schema.fields, cells):
+                if f.type == "list":
+                    record[f.name] = cell.split(LIST_SEPARATOR) if cell else []
+                else:
+                    record[f.name] = f.cast(cell)
+            records.append(record)
+        return records
+
+
+def _quote(cell: str) -> str:
+    if any(ch in cell for ch in (",", '"', "\n")):
+        return '"' + cell.replace('"', '""') + '"'
+    return cell
+
+
+def _parse_line(line: str) -> list[str]:
+    """RFC-4180 field splitting."""
+    cells: list[str] = []
+    buf = io.StringIO()
+    in_quotes = False
+    i = 0
+    while i < len(line):
+        ch = line[i]
+        if in_quotes:
+            if ch == '"' and line[i : i + 2] == '""':
+                buf.write('"')
+                i += 2
+                continue
+            if ch == '"':
+                in_quotes = False
+                i += 1
+                continue
+            buf.write(ch)
+        else:
+            if ch == '"':
+                in_quotes = True
+            elif ch == ",":
+                cells.append(buf.getvalue())
+                buf = io.StringIO()
+            else:
+                buf.write(ch)
+        i += 1
+    cells.append(buf.getvalue())
+    return cells

@@ -1,0 +1,117 @@
+"""Schemas and record helpers for heterogeneous data sources (§7).
+
+CleanDB queries data "over multiple different types of data sources";
+records are plain dictionaries, and a :class:`Schema` describes attribute
+names/types for the formats that need them (CSV and the columnar format).
+Nested attributes (lists of records, e.g. a publication's author list) are
+first-class: flattening to relational form is an explicit, lossy operation
+(:func:`flatten_records`) whose cost the Fig. 7 experiment measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from ..errors import SchemaError
+
+_CASTS = {
+    "int": int,
+    "float": float,
+    "str": str,
+    "bool": lambda v: v in (True, "true", "True", "1", 1),
+}
+
+
+@dataclass(frozen=True)
+class Field:
+    """One attribute: a name, a scalar type, or ``list`` for nested data."""
+
+    name: str
+    type: str = "str"  # int | float | str | bool | list
+
+    def cast(self, raw: Any) -> Any:
+        if raw is None or raw == "":
+            return None
+        if self.type == "list":
+            return raw if isinstance(raw, list) else [raw]
+        try:
+            return _CASTS[self.type](raw)
+        except KeyError:
+            raise SchemaError(f"unknown field type {self.type!r}") from None
+        except (TypeError, ValueError):
+            raise SchemaError(
+                f"cannot cast {raw!r} to {self.type} for field {self.name!r}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of fields."""
+
+    fields: tuple[Field, ...]
+
+    @staticmethod
+    def of(**types: str) -> "Schema":
+        return Schema(tuple(Field(name, t) for name, t in types.items()))
+
+    @property
+    def names(self) -> list[str]:
+        return [f.name for f in self.fields]
+
+    def field(self, name: str) -> Field:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise SchemaError(f"schema has no field {name!r}")
+
+    def cast_row(self, values: Sequence[Any]) -> dict[str, Any]:
+        if len(values) != len(self.fields):
+            raise SchemaError(
+                f"row has {len(values)} values for {len(self.fields)} fields"
+            )
+        return {f.name: f.cast(v) for f, v in zip(self.fields, values)}
+
+    def validate(self, record: dict[str, Any]) -> None:
+        missing = [f.name for f in self.fields if f.name not in record]
+        if missing:
+            raise SchemaError(f"record missing fields: {missing}")
+
+
+def flatten_records(
+    records: Iterable[dict[str, Any]], list_attr: str
+) -> list[dict[str, Any]]:
+    """Relational flattening: one output row per element of ``list_attr``.
+
+    This is what "common practice followed by relational systems" does to
+    nested data (§8.3): a publication with n authors becomes n rows, which is
+    why the flat CSV version of DBLP is much larger than the nested one.
+    Empty lists keep one row with ``None``.
+    """
+    out: list[dict[str, Any]] = []
+    for record in records:
+        items = record.get(list_attr) or [None]
+        for item in items:
+            flat = dict(record)
+            flat[list_attr] = item
+            out.append(flat)
+    return out
+
+
+def nest_records(
+    records: Iterable[dict[str, Any]],
+    key_attrs: Sequence[str],
+    list_attr: str,
+) -> list[dict[str, Any]]:
+    """Inverse of :func:`flatten_records`: regroup rows sharing key attrs."""
+    grouped: dict[tuple, dict[str, Any]] = {}
+    for record in records:
+        key = tuple(record.get(a) for a in key_attrs)
+        if key not in grouped:
+            base = dict(record)
+            base[list_attr] = []
+            grouped[key] = base
+        value = record.get(list_attr)
+        if value is not None:
+            grouped[key][list_attr].append(value)
+    return list(grouped.values())

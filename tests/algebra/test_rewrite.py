@@ -1,0 +1,149 @@
+"""Unit tests for the algebraic rewriter: coalescing and shared-scan DAGs."""
+
+import pytest
+
+from repro.algebra import (
+    Nest,
+    Reduce,
+    Scan,
+    Select,
+    SharedScanDAG,
+    build_shared_dag,
+    coalesce_nests,
+    leaf_scan,
+    optimize_branches,
+)
+from repro.algebra.rewrite import rename_fields
+from repro.monoid import BagMonoid, BinOp, Call, Const, Proj, SetMonoid, Var
+
+
+def make_fd_branch(key_attr: str, rhs_attr: str, var: str):
+    """A miniature FD branch: Reduce over Select over Nest over Scan."""
+    scan = Scan("customer", "c")
+    nest = Nest(
+        child=scan,
+        key=Proj(Var("c"), key_attr),
+        aggregates=(("partition", SetMonoid(), Proj(Var("c"), rhs_attr)),),
+        var=var,
+    )
+    select = Select(
+        nest,
+        BinOp(">", Call("count", (Proj(Var(var), "partition"),)), Const(1)),
+    )
+    return Reduce(select, BagMonoid(), Var(var))
+
+
+class TestLeafScan:
+    def test_finds_scan_through_spine(self):
+        branch = make_fd_branch("addr", "phone", "g1")
+        scan = leaf_scan(branch)
+        assert scan is not None and scan.table == "customer"
+
+    def test_scan_itself(self):
+        s = Scan("t", "x")
+        assert leaf_scan(s) is s
+
+
+class TestCoalesceNests:
+    def test_same_key_branches_merge(self):
+        b1 = make_fd_branch("addr", "phone", "g1")
+        b2 = make_fd_branch("addr", "nation", "g2")
+        from repro.algebra.rewrite import RewriteReport
+
+        report = RewriteReport()
+        out = coalesce_nests([b1, b2], ["fd1", "fd2"], report)
+        assert report.coalesced_groups == [("fd1", "fd2")]
+        nest1 = out[0].child.child
+        nest2 = out[1].child.child
+        assert isinstance(nest1, Nest) and nest1 is nest2
+        assert len(nest1.aggregates) == 2
+
+    def test_merged_nest_slots_renamed(self):
+        b1 = make_fd_branch("addr", "phone", "g1")
+        b2 = make_fd_branch("addr", "nation", "g2")
+        out = coalesce_nests([b1, b2], ["fd1", "fd2"])
+        # Each branch's Select must now reference its own slot (p0 / p1).
+        pred1 = out[0].child.predicate
+        pred2 = out[1].child.predicate
+        assert "p0" in repr(pred1)
+        assert "p1" in repr(pred2)
+
+    def test_identical_aggregates_shared(self):
+        b1 = make_fd_branch("addr", "phone", "g1")
+        b2 = make_fd_branch("addr", "phone", "g2")
+        out = coalesce_nests([b1, b2], ["a", "b"])
+        nest = out[0].child.child
+        assert len(nest.aggregates) == 1
+
+    def test_different_keys_not_merged(self):
+        b1 = make_fd_branch("addr", "phone", "g1")
+        b2 = make_fd_branch("name", "phone", "g2")
+        from repro.algebra.rewrite import RewriteReport
+
+        report = RewriteReport()
+        coalesce_nests([b1, b2], ["fd1", "fd2"], report)
+        assert report.coalesced_groups == []
+
+    def test_single_branch_untouched(self):
+        b1 = make_fd_branch("addr", "phone", "g1")
+        assert coalesce_nests([b1]) == [b1]
+
+
+class TestRenameFields:
+    def test_renames_projection_of_target_var(self):
+        expr = Proj(Var("g"), "partition")
+        assert rename_fields(expr, "g", {"partition": "p0"}) == Proj(Var("g"), "p0")
+
+    def test_other_vars_untouched(self):
+        expr = Proj(Var("h"), "partition")
+        assert rename_fields(expr, "g", {"partition": "p0"}) == expr
+
+    def test_recurses_into_calls(self):
+        expr = Call("count", (Proj(Var("g"), "partition"),))
+        out = rename_fields(expr, "g", {"partition": "p3"})
+        assert out == Call("count", (Proj(Var("g"), "p3"),))
+
+
+class TestSharedDAG:
+    def test_same_table_shared(self):
+        b1 = make_fd_branch("addr", "phone", "g1")
+        b2 = make_fd_branch("addr", "nation", "g2")
+        from repro.algebra.rewrite import RewriteReport
+
+        report = RewriteReport()
+        dag = build_shared_dag([b1, b2], ["fd1", "fd2"], report)
+        assert isinstance(dag, SharedScanDAG)
+        assert report.shared_scan == "customer"
+
+    def test_single_branch_passthrough(self):
+        b1 = make_fd_branch("addr", "phone", "g1")
+        assert build_shared_dag([b1]) is b1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            build_shared_dag([])
+
+
+class TestOptimizeBranches:
+    def test_full_pipeline(self):
+        b1 = make_fd_branch("addr", "phone", "g1")
+        b2 = make_fd_branch("addr", "nation", "g2")
+        dag, report = optimize_branches([b1, b2], ["fd1", "fd2"])
+        assert isinstance(dag, SharedScanDAG)
+        assert report.any_rewrite
+        assert report.coalesced_groups and report.shared_scan
+
+    def test_coalesce_flag_off(self):
+        b1 = make_fd_branch("addr", "phone", "g1")
+        b2 = make_fd_branch("addr", "nation", "g2")
+        dag, report = optimize_branches([b1, b2], coalesce=False)
+        assert report.coalesced_groups == []
+        # Branch nests remain distinct objects.
+        n1 = dag.branches[0].child.child
+        n2 = dag.branches[1].child.child
+        assert n1 is not n2
+
+    def test_describe_renders_tree(self):
+        b1 = make_fd_branch("addr", "phone", "g1")
+        text = b1.describe()
+        assert "Reduce" in text and "Nest" in text and "Scan" in text

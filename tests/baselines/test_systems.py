@@ -1,0 +1,130 @@
+"""Unit tests for the three evaluated systems and their restrictions."""
+
+import pytest
+
+from repro.baselines import BigDansingSystem, CleanDBSystem, SparkSQLSystem
+from repro.datasets import generate_customer, generate_lineitem, rule_phi, rule_psi
+
+LI = generate_lineitem(15)
+LHS, RHS = rule_phi()
+
+
+class TestFDAcrossSystems:
+    def test_all_find_same_violations(self):
+        counts = {
+            cls.name: cls(num_nodes=4).check_fd(LI, LHS, RHS).output_count
+            for cls in (CleanDBSystem, SparkSQLSystem, BigDansingSystem)
+        }
+        assert len(set(counts.values())) == 1
+
+    def test_cleandb_fastest_sparksql_second(self):
+        times = {
+            cls.name: cls(num_nodes=4).check_fd(LI, LHS, RHS).simulated_time
+            for cls in (CleanDBSystem, SparkSQLSystem, BigDansingSystem)
+        }
+        assert times["CleanDB"] < times["SparkSQL"] < times["BigDansing"]
+
+    def test_bigdansing_rejects_computed_attributes(self):
+        result = BigDansingSystem(num_nodes=4).check_fd(
+            LI, [lambda r: str(r["orderkey"])[:2]], RHS
+        )
+        assert result.status == "unsupported"
+
+    def test_bigdansing_rejects_columnar_input(self):
+        result = BigDansingSystem(num_nodes=4).check_fd(LI, LHS, RHS, fmt="columnar")
+        assert result.status == "unsupported"
+
+    def test_columnar_faster_than_csv(self):
+        s = CleanDBSystem(num_nodes=4)
+        csv_run = s.check_fd(LI, LHS, RHS, fmt="csv")
+        col_run = s.check_fd(LI, LHS, RHS, fmt="columnar")
+        assert col_run.simulated_time < csv_run.simulated_time
+
+
+class TestDCAcrossSystems:
+    def test_only_cleandb_completes_under_budget(self):
+        prices = sorted(r["price"] for r in LI)
+        psi = rule_psi(price_cap=prices[len(prices) // 100])
+        budget = 60_000
+        cleandb = CleanDBSystem(num_nodes=10, budget=budget).check_dc(LI, psi)
+        spark = SparkSQLSystem(num_nodes=10, budget=budget).check_dc(LI, psi)
+        bigd = BigDansingSystem(num_nodes=10, budget=budget).check_dc(LI, psi)
+        assert cleandb.status == "ok"
+        assert spark.status == "budget_exceeded"
+        assert bigd.status == "budget_exceeded"
+
+    def test_matrix_and_cartesian_agree_without_budget(self):
+        small = LI[:120]
+        prices = sorted(r["price"] for r in small)
+        psi = rule_psi(price_cap=prices[5])
+        a = CleanDBSystem(num_nodes=4).check_dc(small, psi)
+        b = SparkSQLSystem(num_nodes=4).check_dc(small, psi)
+        assert a.output_count == b.output_count > 0
+
+
+class TestDedupAcrossSystems:
+    def test_customer_dedup_all_systems(self):
+        data = generate_customer(num_customers=60, max_duplicates=5, seed=3)
+        for cls in (CleanDBSystem, SparkSQLSystem, BigDansingSystem):
+            run = cls(num_nodes=4).deduplicate(
+                data.records, ["name", "phone"], block_on="custkey", theta=0.5
+            )
+            assert run.ok and run.output_count > 0
+
+    def test_bigdansing_rejects_non_customer(self):
+        run = BigDansingSystem(num_nodes=4).deduplicate(
+            [{"title": "a"}, {"title": "a"}], ["title"]
+        )
+        assert run.status == "unsupported"
+        assert "customer" in run.reason
+
+    def test_cleandb_scales_better_on_skewed_duplicates(self):
+        # At tiny scale CleanDB's planning/statistics overhead dominates
+        # (the Fig. 7 small-input effect); from a few hundred customers with
+        # heavy Zipf duplication, the skew-resilient grouping wins it back.
+        data = generate_customer(num_customers=600, max_duplicates=40, seed=9)
+        fast = CleanDBSystem(num_nodes=10).deduplicate(
+            data.records, ["name"], block_on="address", theta=0.5
+        )
+        slow = SparkSQLSystem(num_nodes=10).deduplicate(
+            data.records, ["name"], block_on="address", theta=0.5
+        )
+        assert fast.simulated_time < slow.simulated_time
+
+
+class TestTermValidationAcrossSystems:
+    TERMS = [f"word number {i}" for i in range(30)] + ["wrod number 1"]
+    DICT = [f"word number {i}" for i in range(30)]
+
+    def test_cleandb_supports(self):
+        run = CleanDBSystem(num_nodes=4).validate_terms(self.TERMS, self.DICT, q=2)
+        assert run.ok
+
+    def test_sparksql_cross_product_blows_budget(self):
+        run = SparkSQLSystem(num_nodes=4, budget=3_000).validate_terms(
+            self.TERMS * 20, self.DICT * 10
+        )
+        assert run.status == "budget_exceeded"
+
+    def test_bigdansing_unsupported(self):
+        run = BigDansingSystem(num_nodes=4).validate_terms(self.TERMS, self.DICT)
+        assert run.status == "unsupported"
+
+    def test_cleandb_prunes_comparisons_vs_sparksql(self):
+        fast = CleanDBSystem(num_nodes=4).validate_terms(self.TERMS, self.DICT, q=3)
+        slow = SparkSQLSystem(num_nodes=4).validate_terms(self.TERMS, self.DICT)
+        assert fast.comparisons < slow.comparisons
+
+
+class TestRunResult:
+    def test_as_row_hides_metrics_on_failure(self):
+        from repro.evaluation import RunResult
+
+        row = RunResult(system="X", status="budget_exceeded").as_row()
+        assert row["sim_time"] is None
+
+    def test_ok_flag(self):
+        from repro.evaluation import RunResult
+
+        assert RunResult(system="X", status="ok").ok
+        assert RunResult.unsupported("Y").failed

@@ -1,0 +1,113 @@
+"""Unit tests for domain/range syntactic checks."""
+
+import pytest
+
+from repro.cleaning.domain import (
+    DomainViolation,
+    InRange,
+    InSet,
+    Matches,
+    NotNull,
+    Satisfies,
+    check_domains,
+    violation_summary,
+)
+from repro.engine import Cluster
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(num_nodes=2)
+
+
+RECORDS = [
+    {"status": "active", "age": 30, "email": "a@x.org", "id": 1},
+    {"status": "zombie", "age": 30, "email": "b@x.org", "id": 2},   # bad status
+    {"status": "active", "age": -4, "email": "c@x.org", "id": 3},   # bad age
+    {"status": "active", "age": 30, "email": "not-an-email", "id": 4},
+    {"status": "active", "age": None, "email": None, "id": 5},
+]
+
+
+class TestRules:
+    def test_in_set(self):
+        rule = InSet("status", frozenset({"active", "inactive"}))
+        assert rule.ok("active")
+        assert not rule.ok("zombie")
+        assert not rule.ok(None)
+
+    def test_in_set_allow_null(self):
+        rule = InSet("status", frozenset({"a"}), allow_null=True)
+        assert rule.ok(None)
+
+    def test_in_range(self):
+        rule = InRange("age", 0, 120)
+        assert rule.ok(0) and rule.ok(120)
+        assert not rule.ok(-1) and not rule.ok(121)
+
+    def test_in_range_rejects_non_numeric(self):
+        rule = InRange("age", 0, 120)
+        assert not rule.ok("thirty")
+        assert not rule.ok(True)
+
+    def test_matches(self):
+        rule = Matches("email", r"[^@]+@[^@]+\.[a-z]+")
+        assert rule.ok("a@x.org")
+        assert not rule.ok("nope")
+
+    def test_not_null(self):
+        rule = NotNull("email")
+        assert rule.ok("x") and not rule.ok(None) and not rule.ok("")
+
+    def test_satisfies(self):
+        rule = Satisfies("id", lambda v: isinstance(v, int) and v > 0, "positive")
+        assert rule.ok(3) and not rule.ok(0)
+        assert rule.name == "positive(id)"
+
+
+class TestCheckDomains:
+    def rules(self):
+        return [
+            InSet("status", frozenset({"active", "inactive"})),
+            InRange("age", 0, 120, allow_null=True),
+            Matches("email", r"[^@]+@[^@]+\.[a-z]+", allow_null=True),
+        ]
+
+    def test_single_pass_catches_everything(self, cluster):
+        ds = cluster.parallelize(RECORDS)
+        violations = check_domains(ds, self.rules()).collect()
+        by_rule = violation_summary(violations)
+        assert by_rule == {
+            "in_set(status)": 1,
+            "in_range(age)": 1,
+            "matches(email)": 1,
+        }
+
+    def test_violation_carries_record_and_value(self, cluster):
+        ds = cluster.parallelize(RECORDS)
+        violations = check_domains(ds, [InRange("age", 0, 120)]).collect()
+        bad_age = [v for v in violations if v.value == -4]
+        assert bad_age and bad_age[0].record["id"] == 3
+
+    def test_record_can_violate_multiple_rules(self, cluster):
+        ds = cluster.parallelize([{"status": "zombie", "age": -1}])
+        violations = check_domains(
+            ds, [InSet("status", frozenset({"active"})), InRange("age", 0, 100)]
+        ).collect()
+        assert len(violations) == 2
+
+    def test_one_pass_cost(self, cluster):
+        ds = cluster.parallelize(RECORDS)
+        ops_before = len(cluster.metrics.ops)
+        check_domains(ds, self.rules())
+        # all three rules in exactly one additional engine op
+        assert len(cluster.metrics.ops) == ops_before + 1
+
+    def test_empty_rules_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            check_domains(cluster.parallelize(RECORDS), [])
+
+    def test_clean_data_no_violations(self, cluster):
+        clean = [{"status": "active", "age": 1, "email": "a@b.co"}]
+        violations = check_domains(cluster.parallelize(clean), self.rules()).collect()
+        assert violations == []

@@ -1,0 +1,88 @@
+"""Unit tests for term validation against a dictionary."""
+
+import pytest
+
+from repro.cleaning import TermRepair, validate_terms
+from repro.engine import Cluster
+
+DICTIONARY = ["john smith", "mary jones", "peter brown", "alice cooper"]
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(num_nodes=4)
+
+
+class TestTokenFiltering:
+    def test_misspelling_repaired(self, cluster):
+        ds = cluster.parallelize(["jhon smith"])
+        repairs = validate_terms(ds, DICTIONARY, op="token_filtering", theta=0.6, q=2).collect()
+        assert len(repairs) == 1
+        assert repairs[0].best == "john smith"
+
+    def test_clean_terms_not_reported(self, cluster):
+        ds = cluster.parallelize(["mary jones", "peter brown"])
+        repairs = validate_terms(ds, DICTIONARY, theta=0.6).collect()
+        assert repairs == []
+
+    def test_unrelated_term_gets_no_suggestion(self, cluster):
+        ds = cluster.parallelize(["zzzzzz qqqqq"])
+        repairs = validate_terms(ds, DICTIONARY, theta=0.8).collect()
+        assert repairs == []
+
+    def test_suggestions_sorted_by_similarity(self, cluster):
+        ds = cluster.parallelize(["mary jonez"])
+        [repair] = validate_terms(ds, DICTIONARY, theta=0.5, q=2).collect()
+        assert repair.suggestions[0] == "mary jones"
+
+    def test_duplicate_dirty_terms_validated_once(self, cluster):
+        ds = cluster.parallelize(["jhon smith"] * 10)
+        repairs = validate_terms(ds, DICTIONARY, theta=0.6, q=2).collect()
+        assert len(repairs) == 1
+
+    def test_phase_metrics_recorded(self, cluster):
+        ds = cluster.parallelize(["jhon smith"])
+        validate_terms(ds, DICTIONARY, theta=0.6).collect()
+        assert cluster.metrics.phase_time("grouping") > 0
+        assert cluster.metrics.phase_time("similarity") >= 0
+
+
+class TestKMeans:
+    def test_misspelling_repaired(self, cluster):
+        ds = cluster.parallelize(["jhon smith"])
+        repairs = validate_terms(
+            ds, DICTIONARY, op="kmeans", k=2, theta=0.6, delta=0.3
+        ).collect()
+        assert any(r.best == "john smith" for r in repairs)
+
+    def test_more_centers_fewer_checks(self):
+        terms = [f"term {i}" for i in range(50)]
+        dictionary = [f"term {i}" for i in range(0, 100, 2)]
+        comparisons = {}
+        for k in (2, 10):
+            c = Cluster(num_nodes=4)
+            ds = c.parallelize(terms)
+            validate_terms(ds, dictionary, op="kmeans", k=k, theta=0.9).collect()
+            comparisons[k] = c.metrics.comparisons
+        assert comparisons[10] <= comparisons[2]
+
+    def test_unknown_op_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            validate_terms(cluster.parallelize(["x"]), DICTIONARY, op="lsh")
+
+
+class TestTermFunc:
+    def test_record_term_extraction(self, cluster):
+        ds = cluster.parallelize([{"author": "jhon smith"}])
+        repairs = validate_terms(
+            ds, DICTIONARY, term_func=lambda r: r["author"], theta=0.6, q=2
+        ).collect()
+        assert repairs and repairs[0].term == "jhon smith"
+
+
+class TestTermRepair:
+    def test_best_none_when_no_suggestions(self):
+        assert TermRepair("x", ()).best is None
+
+    def test_best_is_first(self):
+        assert TermRepair("x", ("a", "b")).best == "a"

@@ -1,0 +1,137 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, parse_table_spec
+from repro.sources import Schema, write_records
+
+
+@pytest.fixture
+def customer_csv(tmp_path):
+    schema = Schema.of(name="str", address="str", nationkey="int")
+    rows = [
+        {"name": "ann", "address": "x", "nationkey": 1},
+        {"name": "bob", "address": "x", "nationkey": 2},
+    ]
+    path = tmp_path / "customer.csv"
+    write_records(path, rows, "csv", schema)
+    return path
+
+
+class TestParseTableSpec:
+    def test_full_spec(self):
+        name, path, fmt, schema = parse_table_spec(
+            "t=/data/f.csv:csv:a:int,b:str"
+        )
+        assert name == "t" and fmt == "csv"
+        assert schema.names == ["a", "b"]
+        assert schema.field("a").type == "int"
+
+    def test_no_schema(self):
+        name, path, fmt, schema = parse_table_spec("t=/data/f.json:json")
+        assert fmt == "json" and schema is None
+
+    def test_missing_equals(self):
+        with pytest.raises(ValueError):
+            parse_table_spec("nonsense")
+
+    def test_missing_format(self):
+        with pytest.raises(ValueError):
+            parse_table_spec("t=/data/file")
+
+    def test_unknown_format(self):
+        with pytest.raises(ValueError):
+            parse_table_spec("t=/data/f.avro:avro")
+
+    def test_bad_schema_entry(self):
+        with pytest.raises(ValueError):
+            parse_table_spec("t=f.csv:csv:notypehere")
+
+
+class TestCommands:
+    def test_formats(self, capsys):
+        assert main(["formats"]) == 0
+        out = capsys.readouterr().out
+        assert "csv" in out and "columnar" in out
+
+    def test_query(self, customer_csv, capsys):
+        code = main(
+            [
+                "query",
+                "--table",
+                f"customer={customer_csv}:csv:name:str,address:str,nationkey:int",
+                "--nodes", "2",
+                "SELECT * FROM customer c FD(c.address, c.nationkey)",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "branch 'fd1'" in out
+        assert "1 rows" in out
+
+    def test_explain(self, customer_csv, capsys):
+        code = main(
+            [
+                "explain",
+                "--table",
+                f"customer={customer_csv}:csv:name:str,address:str,nationkey:int",
+                "SELECT * FROM customer c",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Physical plan" in out
+
+    def test_metrics_flag(self, customer_csv, capsys):
+        main(
+            [
+                "query", "--metrics",
+                "--table",
+                f"customer={customer_csv}:csv:name:str,address:str,nationkey:int",
+                "SELECT * FROM customer c",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "simulated_time" in out
+
+    def test_sql_from_file(self, customer_csv, tmp_path, capsys):
+        sql_file = tmp_path / "q.sql"
+        sql_file.write_text("SELECT * FROM customer c")
+        code = main(
+            [
+                "query",
+                "--table",
+                f"customer={customer_csv}:csv:name:str,address:str,nationkey:int",
+                f"@{sql_file}",
+            ]
+        )
+        assert code == 0
+
+    def test_error_reported_not_raised(self, capsys):
+        code = main(["query", "SELECT * FROM missing m"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "error:" in err
+
+    def test_parse_error_reported(self, customer_csv, capsys):
+        code = main(
+            [
+                "query",
+                "--table",
+                f"customer={customer_csv}:csv:name:str,address:str,nationkey:int",
+                "SELEKT oops",
+            ]
+        )
+        assert code == 1
+
+    def test_budget_flag_triggers_failure(self, customer_csv, capsys):
+        code = main(
+            [
+                "query", "--budget", "0.5",
+                "--table",
+                f"customer={customer_csv}:csv:name:str,address:str,nationkey:int",
+                "SELECT * FROM customer c",
+            ]
+        )
+        assert code == 1
+        assert "budget" in capsys.readouterr().err

@@ -1,0 +1,65 @@
+"""Unit tests for the CleanM tokenizer."""
+
+import pytest
+
+from repro.core import tokenize
+from repro.errors import ParseError
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text)[:-1]]  # drop EOF
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select FROM Where")[0] == ("KEYWORD", "SELECT")
+        assert kinds("select FROM Where")[1] == ("KEYWORD", "FROM")
+        assert kinds("select FROM Where")[2] == ("KEYWORD", "WHERE")
+
+    def test_identifiers_keep_case(self):
+        assert ("IDENT", "MyTable") in kinds("MyTable")
+
+    def test_numbers(self):
+        assert kinds("42 0.8") == [("NUMBER", "42"), ("NUMBER", "0.8")]
+
+    def test_number_then_projection_dot(self):
+        # "c.name" after a number must not absorb the dot.
+        tokens = kinds("1.name")
+        assert tokens[0] == ("NUMBER", "1")
+        assert tokens[1] == ("SYMBOL", ".")
+
+    def test_string_literal(self):
+        assert kinds("'hello world'") == [("STRING", "hello world")]
+
+    def test_string_escape(self):
+        assert kinds("'it''s'") == [("STRING", "it's")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_two_char_symbols(self):
+        assert kinds("<= >= != <>") == [
+            ("SYMBOL", "<="), ("SYMBOL", ">="), ("SYMBOL", "!="), ("SYMBOL", "<>"),
+        ]
+
+    def test_comment_skipped(self):
+        assert kinds("SELECT -- a comment\n1") == [
+            ("KEYWORD", "SELECT"), ("NUMBER", "1"),
+        ]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError) as info:
+            tokenize("SELECT ~")
+        assert info.value.position > 0
+
+    def test_line_tracking(self):
+        tokens = tokenize("SELECT\nFROM")
+        assert tokens[1].line == 2
+
+    def test_eof_token_always_present(self):
+        assert tokenize("")[-1].kind == "EOF"
+
+    def test_fd_dedup_cluster_keywords(self):
+        values = [v for _, v in kinds("FD DEDUP CLUSTER BY")]
+        assert values == ["FD", "DEDUP", "CLUSTER", "BY"]

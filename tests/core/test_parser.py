@@ -1,0 +1,142 @@
+"""Unit tests for the CleanM parser (Listing 1 grammar)."""
+
+import pytest
+
+from repro.core import parse
+from repro.core.ast_nodes import ClusterByOp, DedupOp, FDOp, Star
+from repro.errors import ParseError
+from repro.monoid import BinOp, Call, Const, Proj, Var
+
+
+class TestSelectFrom:
+    def test_star(self):
+        q = parse("SELECT * FROM customer c")
+        assert isinstance(q.select[0], Star)
+        assert q.tables[0].name == "customer"
+        assert q.tables[0].alias == "c"
+
+    def test_table_without_alias_uses_name(self):
+        q = parse("SELECT * FROM customer")
+        assert q.tables[0].alias == "customer"
+
+    def test_as_alias(self):
+        q = parse("SELECT * FROM customer AS c")
+        assert q.tables[0].alias == "c"
+
+    def test_multiple_tables(self):
+        q = parse("SELECT * FROM customer c, dictionary d")
+        assert [t.alias for t in q.tables] == ["c", "d"]
+
+    def test_select_items_with_aliases(self):
+        q = parse("SELECT c.name AS n, c.age FROM customer c")
+        assert q.select[0].alias == "n"
+        assert q.select[0].expr == Proj(Var("c"), "name")
+        assert q.select[1].alias is None
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT c.x FROM t c").distinct
+        assert not parse("SELECT ALL c.x FROM t c").distinct
+
+    def test_function_call_in_select(self):
+        q = parse("SELECT prefix(c.phone) FROM customer c")
+        assert q.select[0].expr == Call("prefix", (Proj(Var("c"), "phone"),))
+
+
+class TestWhereGroupBy:
+    def test_where_comparison(self):
+        q = parse("SELECT * FROM t x WHERE x.a > 5")
+        assert q.where == BinOp(">", Proj(Var("x"), "a"), Const(5))
+
+    def test_where_and_or_precedence(self):
+        q = parse("SELECT * FROM t x WHERE x.a = 1 OR x.b = 2 AND x.c = 3")
+        assert q.where.op == "or"
+        assert q.where.right.op == "and"
+
+    def test_equals_normalized(self):
+        q = parse("SELECT * FROM t x WHERE x.a = 1")
+        assert q.where.op == "=="
+
+    def test_group_by_and_having(self):
+        q = parse(
+            "SELECT x.k, count(x.v) FROM t x GROUP BY x.k HAVING count(x.v) > 2"
+        )
+        assert q.group_by == [Proj(Var("x"), "k")]
+        assert q.having is not None
+
+    def test_arithmetic_precedence(self):
+        q = parse("SELECT * FROM t x WHERE x.a + 2 * 3 = 7")
+        left = q.where.left
+        assert left.op == "+"
+        assert left.right.op == "*"
+
+    def test_parenthesized_expression(self):
+        q = parse("SELECT * FROM t x WHERE (x.a + 2) * 3 = 12")
+        assert q.where.left.op == "*"
+
+    def test_string_and_null_literals(self):
+        q = parse("SELECT * FROM t x WHERE x.a = 'abc' AND x.b = NULL")
+        conj = q.where
+        assert conj.left.right == Const("abc")
+        assert conj.right.right == Const(None)
+
+
+class TestCleaningOps:
+    def test_fd(self):
+        q = parse("SELECT * FROM customer c FD(c.address, prefix(c.phone))")
+        [op] = q.cleaning_ops
+        assert isinstance(op, FDOp)
+        assert op.lhs == (Proj(Var("c"), "address"),)
+        assert op.rhs == (Call("prefix", (Proj(Var("c"), "phone"),)),)
+
+    def test_fd_compound_lhs(self):
+        q = parse("SELECT * FROM t l FD(l.orderkey, l.linenumber, l.suppkey)")
+        [op] = q.cleaning_ops
+        assert len(op.lhs) == 2 and len(op.rhs) == 1
+
+    def test_fd_requires_two_args(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM t l FD(l.a)")
+
+    def test_dedup_full_form(self):
+        q = parse("SELECT * FROM customer c DEDUP(token_filtering, LD, 0.8, c.address)")
+        [op] = q.cleaning_ops
+        assert isinstance(op, DedupOp)
+        assert op.op == "token_filtering"
+        assert op.metric == "LD"
+        assert op.theta == 0.8
+        assert op.attributes == (Proj(Var("c"), "address"),)
+
+    def test_dedup_defaults(self):
+        q = parse("SELECT * FROM customer c DEDUP(exact, c.name)")
+        [op] = q.cleaning_ops
+        assert op.metric == "LD" and op.theta == 0.8
+        assert op.attributes == (Proj(Var("c"), "name"),)
+
+    def test_cluster_by(self):
+        q = parse(
+            "SELECT * FROM customer c, dictionary d "
+            "CLUSTER BY(token_filtering, LD, 0.8, c.name)"
+        )
+        [op] = q.cleaning_ops
+        assert isinstance(op, ClusterByOp)
+        assert op.term == Proj(Var("c"), "name")
+        assert op.dictionary == "d"
+
+    def test_multiple_ops_running_example(self):
+        q = parse(
+            "SELECT c.name, c.address, * FROM customer c, dictionary d "
+            "FD(c.address, prefix(c.phone)) "
+            "DEDUP(token_filtering, LD, 0.8, c.address) "
+            "CLUSTER BY(token_filtering, LD, 0.8, c.name)"
+        )
+        assert [type(op).__name__ for op in q.cleaning_ops] == [
+            "FDOp", "DedupOp", "ClusterByOp",
+        ]
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM t x LIMIT 5")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT *")

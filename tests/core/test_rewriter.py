@@ -1,0 +1,135 @@
+"""Unit tests for the de-sugarizer (AST → comprehension templates, §4.4)."""
+
+import pytest
+
+from repro.core.parser import parse
+from repro.core.rewriter import rewrite_query
+from repro.errors import PlanningError
+from repro.monoid import (
+    BagMonoid,
+    Comprehension,
+    Filter,
+    Generator,
+    SetMonoid,
+    evaluate_comprehension,
+)
+from repro.physical.functions import DEFAULT_FUNCTIONS
+
+FUNCS = dict(DEFAULT_FUNCTIONS)
+FUNCS.update(
+    {
+        "block_keys": lambda kind, term: [str(term)[:2]],
+        "rid_less": lambda a, b: a["_rid"] < b["_rid"],
+        "similar_records": lambda metric, a, b, theta, attrs: True,
+        "pair": lambda a, b: (a, b),
+        "in_dictionary": lambda t: False,
+        "freeze": lambda v: str(v),
+        "nth": lambda key, i: key[i],
+        "agg": lambda kind, partition, attr: len(partition),
+        "concat_terms": lambda *parts: " ".join(map(str, parts)),
+    }
+)
+
+
+class TestFDTemplate:
+    def test_structure(self):
+        [branch] = rewrite_query(parse("SELECT * FROM t c FD(c.a, c.b)"))
+        assert branch.kind == "fd"
+        comp = branch.comprehension
+        assert isinstance(comp.monoid, BagMonoid)
+        # One generator over the grouping comprehension + the count filter.
+        assert isinstance(comp.qualifiers[0], Generator)
+        assert isinstance(comp.qualifiers[0].source, Comprehension)
+        assert isinstance(comp.qualifiers[1], Filter)
+
+    def test_reference_evaluation_detects_violation(self):
+        [branch] = rewrite_query(parse("SELECT * FROM t c FD(c.a, c.b)"))
+        data = [
+            {"a": 1, "b": 10, "_rid": 0},
+            {"a": 1, "b": 20, "_rid": 1},
+            {"a": 2, "b": 30, "_rid": 2},
+        ]
+        groups = evaluate_comprehension(branch.comprehension, {"t": data}, FUNCS)
+        assert len(groups) == 1
+        assert groups[0]["key"] == 1
+
+    def test_fd_names_numbered(self):
+        branches = rewrite_query(
+            parse("SELECT * FROM t c FD(c.a, c.b) FD(c.a, c.d)")
+        )
+        assert [b.name for b in branches] == ["fd1", "fd2"]
+
+
+class TestDedupTemplate:
+    def test_exact_blocking_groups_on_term(self):
+        [branch] = rewrite_query(
+            parse("SELECT * FROM t c DEDUP(exact, LD, 0.9, c.name)")
+        )
+        groups_comp = branch.comprehension.qualifiers[0].source
+        # Exact blocking keys on the attribute expression itself (enabling
+        # coalescing with FDs on the same attribute).
+        assert "block_keys" not in repr(groups_comp.head)
+
+    def test_token_filtering_uses_block_keys(self):
+        [branch] = rewrite_query(
+            parse("SELECT * FROM t c DEDUP(token_filtering, LD, 0.9, c.name)")
+        )
+        groups_comp = branch.comprehension.qualifiers[0].source
+        assert "block_keys" in repr(groups_comp.head)
+
+    def test_reference_evaluation_emits_ordered_pairs(self):
+        [branch] = rewrite_query(
+            parse("SELECT * FROM t c DEDUP(exact, LD, 0.9, c.name)")
+        )
+        data = [
+            {"name": "xx", "_rid": 0},
+            {"name": "xx", "_rid": 1},
+        ]
+        pairs = evaluate_comprehension(branch.comprehension, {"t": data}, FUNCS)
+        assert len(pairs) == 1
+        assert pairs[0]["p1"]["_rid"] == 0 and pairs[0]["p2"]["_rid"] == 1
+
+    def test_params_recorded(self):
+        [branch] = rewrite_query(
+            parse("SELECT * FROM t c DEDUP(kmeans, jaccard, 0.6, c.name)")
+        )
+        assert branch.params["op"] == "kmeans"
+        assert branch.params["metric"] == "jaccard"
+        assert branch.params["theta"] == 0.6
+
+
+class TestClusterByTemplate:
+    def test_requires_dictionary_table(self):
+        query = parse("SELECT * FROM t c CLUSTER BY(token_filtering, LD, 0.8, c.name)")
+        with pytest.raises(PlanningError):
+            rewrite_query(query)
+
+    def test_set_monoid_output(self):
+        [branch] = rewrite_query(
+            parse(
+                "SELECT * FROM t c, dict d "
+                "CLUSTER BY(token_filtering, LD, 0.8, c.name)"
+            )
+        )
+        assert isinstance(branch.comprehension.monoid, SetMonoid)
+        assert branch.params["dictionary"] == "dict"
+
+
+class TestSelectTemplate:
+    def test_plain_query_branch(self):
+        [branch] = rewrite_query(parse("SELECT c.a FROM t c WHERE c.a > 1"))
+        assert branch.kind == "query"
+        result = evaluate_comprehension(
+            branch.comprehension, {"t": [{"a": 1}, {"a": 5}]}, FUNCS
+        )
+        assert result == [{"a": 5}]
+
+    def test_group_by_requires_aggregate_or_key(self):
+        query = parse("SELECT c.a, c.b FROM t c GROUP BY c.a")
+        with pytest.raises(PlanningError):
+            rewrite_query(query)
+
+    def test_star_with_group_by_rejected(self):
+        query = parse("SELECT * FROM t c GROUP BY c.a")
+        with pytest.raises(PlanningError):
+            rewrite_query(query)

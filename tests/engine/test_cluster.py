@@ -1,0 +1,65 @@
+"""Unit tests for Cluster: budgets, accounting, and node placement."""
+
+import pytest
+
+from repro.engine import Cluster, CostModel
+from repro.errors import BudgetExceededError
+
+
+class TestClusterBasics:
+    def test_invalid_node_count(self):
+        with pytest.raises(ValueError):
+            Cluster(num_nodes=0)
+
+    def test_node_round_robin(self):
+        c = Cluster(num_nodes=3)
+        assert [c.node_of(i) for i in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_spread_over_nodes(self):
+        c = Cluster(num_nodes=2)
+        assert c.spread_over_nodes([1.0, 2.0, 4.0]) == [5.0, 2.0]
+
+    def test_default_parallelism(self):
+        assert Cluster(num_nodes=7).default_parallelism == 7
+
+
+class TestBudget:
+    def test_budget_exceeded_raises_with_amounts(self):
+        c = Cluster(num_nodes=2, budget=10.0)
+        with pytest.raises(BudgetExceededError) as info:
+            c.record_op("big", [100.0, 0.0])
+        assert info.value.spent > info.value.budget == 10.0
+
+    def test_within_budget_ok(self):
+        c = Cluster(num_nodes=2, budget=1000.0)
+        c.record_op("small", [1.0, 1.0])
+        assert c.metrics.simulated_time == 1.0
+
+    def test_budget_is_cumulative(self):
+        c = Cluster(num_nodes=1, budget=10.0)
+        c.record_op("a", [6.0])
+        with pytest.raises(BudgetExceededError):
+            c.record_op("b", [6.0])
+
+
+class TestScanCosts:
+    def test_format_scan_cost_applied(self):
+        data = [{"a": i} for i in range(100)]
+        times = {}
+        for fmt in ("csv", "columnar"):
+            c = Cluster(num_nodes=2)
+            c.parallelize(data, fmt=fmt)
+            times[fmt] = c.metrics.simulated_time
+        assert times["columnar"] < times["csv"]
+
+    def test_charge_comparisons(self):
+        c = Cluster(num_nodes=2)
+        c.charge_comparisons(5)
+        c.charge_comparisons(3)
+        assert c.metrics.comparisons == 8
+
+    def test_custom_cost_model(self):
+        cm = CostModel(record_unit=10.0)
+        c = Cluster(num_nodes=1, cost_model=cm)
+        c.parallelize([1, 2, 3])
+        assert c.metrics.simulated_time == 30.0

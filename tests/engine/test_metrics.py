@@ -1,0 +1,77 @@
+"""Unit tests for the cost model and metrics collector."""
+
+import pytest
+
+from repro.engine import CostModel, MetricsCollector, OpMetrics
+
+
+class TestCostModel:
+    def test_defaults_order_sort_cheaper_than_hash(self):
+        cm = CostModel()
+        assert cm.sort_shuffle_factor < cm.hash_shuffle_factor
+
+    def test_columnar_scan_cheaper_than_csv(self):
+        cm = CostModel()
+        assert cm.scan_unit("columnar") < cm.scan_unit("csv")
+
+    def test_scan_unit_per_format_ordering(self):
+        cm = CostModel()
+        assert cm.scan_unit("csv") < cm.scan_unit("json") < cm.scan_unit("xml")
+
+    def test_memory_scan_free(self):
+        assert CostModel().scan_unit("memory") == 0.0
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(ValueError):
+            CostModel().scan_unit("avro")
+
+
+class TestOpMetrics:
+    def test_simulated_time_is_max_node_plus_shuffle(self):
+        op = OpMetrics("x", [1.0, 5.0, 2.0], shuffle_cost=10.0)
+        assert op.simulated_time == 15.0
+
+    def test_total_work(self):
+        assert OpMetrics("x", [1.0, 2.0]).total_work == 3.0
+
+    def test_balance_uniform(self):
+        assert OpMetrics("x", [2.0, 2.0, 2.0]).balance == 1.0
+
+    def test_balance_skewed(self):
+        op = OpMetrics("x", [10.0, 0.0, 0.0, 0.0])
+        assert op.balance == pytest.approx(0.25)
+
+    def test_balance_empty(self):
+        assert OpMetrics("x", []).balance == 1.0
+
+
+class TestMetricsCollector:
+    def test_accumulates_ops(self):
+        mc = MetricsCollector()
+        mc.record(OpMetrics("a", [1.0], shuffle_cost=2.0))
+        mc.record(OpMetrics("b", [3.0]))
+        assert mc.simulated_time == 6.0
+        assert mc.total_work == 4.0
+
+    def test_phase_time_by_prefix(self):
+        mc = MetricsCollector()
+        mc.record(OpMetrics("grouping:token", [5.0]))
+        mc.record(OpMetrics("similarity:dedup", [7.0]))
+        assert mc.phase_time("grouping") == 5.0
+        assert mc.phase_time("similarity") == 7.0
+
+    def test_reset(self):
+        mc = MetricsCollector()
+        mc.record(OpMetrics("a", [1.0]))
+        mc.comparisons = 9
+        mc.reset()
+        assert mc.simulated_time == 0.0
+        assert mc.comparisons == 0
+
+    def test_summary_keys(self):
+        mc = MetricsCollector()
+        summary = mc.summary()
+        assert set(summary) == {
+            "simulated_time", "shuffled_records", "total_work",
+            "comparisons", "num_ops",
+        }

@@ -1,0 +1,83 @@
+"""Unit tests for the partitioning strategies."""
+
+import pytest
+
+from repro.engine import (
+    HashPartitioner,
+    RangePartitioner,
+    RoundRobinPartitioner,
+    make_partitioner,
+    stable_hash,
+)
+
+
+class TestStableHash:
+    def test_deterministic_for_strings(self):
+        assert stable_hash("hello") == stable_hash("hello")
+
+    def test_int_passthrough_non_negative(self):
+        assert stable_hash(42) == 42
+        assert stable_hash(-1) >= 0
+
+    def test_different_values_usually_differ(self):
+        values = {stable_hash(f"key{i}") for i in range(100)}
+        assert len(values) > 90
+
+
+class TestHashPartitioner:
+    def test_in_range(self):
+        p = HashPartitioner(8)
+        assert all(0 <= p.partition(f"k{i}") < 8 for i in range(100))
+
+    def test_same_key_same_partition(self):
+        p = HashPartitioner(4)
+        assert p.partition("x") == p.partition("x")
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(0)
+
+
+class TestRoundRobinPartitioner:
+    def test_even_spread(self):
+        p = RoundRobinPartitioner(3)
+        targets = [p.partition(None) for _ in range(9)]
+        assert targets == [0, 1, 2, 0, 1, 2, 0, 1, 2]
+
+
+class TestRangePartitioner:
+    def test_routes_by_order(self):
+        p = RangePartitioner(4, key_sample=list(range(100)))
+        assert p.partition(0) <= p.partition(50) <= p.partition(99)
+
+    def test_all_partitions_used_for_uniform_keys(self):
+        p = RangePartitioner(4, key_sample=list(range(1000)))
+        used = {p.partition(k) for k in range(1000)}
+        assert used == {0, 1, 2, 3}
+
+    def test_hot_key_lands_in_single_partition(self):
+        # A single dominant key -> range partitioning sends every copy to
+        # one partition: this is the skew sensitivity §8.3 describes.
+        sample = [7] * 90 + list(range(10))
+        p = RangePartitioner(4, sample)
+        targets = {p.partition(7) for _ in range(50)}
+        assert len(targets) == 1
+
+    def test_empty_sample(self):
+        p = RangePartitioner(4, key_sample=[])
+        assert p.partition("anything") == 0
+
+    def test_mixed_type_keys_do_not_crash(self):
+        p = RangePartitioner(3, key_sample=[1, "a", 2, "b"])
+        for key in (1, "a", 3.5, "zz"):
+            assert 0 <= p.partition(key) < 3
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind", ["hash", "range", "roundrobin"])
+    def test_known_kinds(self, kind):
+        assert make_partitioner(kind, 4, key_sample=[1, 2, 3]) is not None
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_partitioner("consistent", 4)

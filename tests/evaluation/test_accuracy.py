@@ -1,0 +1,83 @@
+"""Unit tests for accuracy scoring."""
+
+import pytest
+
+from repro.cleaning import TermRepair
+from repro.evaluation import AccuracyReport, format_table, score_pairs, score_term_repairs, speedup
+
+
+class TestTermScoring:
+    def test_perfect_repairs(self):
+        truth = {"jhon": "john", "mry": "mary"}
+        repairs = [TermRepair("jhon", ("john",)), TermRepair("mry", ("mary",))]
+        report = score_term_repairs(repairs, truth)
+        assert report.precision == 1.0 and report.recall == 1.0
+        assert report.f_score == 1.0
+
+    def test_wrong_best_suggestion_hurts_both(self):
+        truth = {"jhon": "john"}
+        repairs = [TermRepair("jhon", ("joan", "john"))]
+        report = score_term_repairs(repairs, truth)
+        assert report.precision == 0.0 and report.recall == 0.0
+
+    def test_missing_repair_hurts_recall_only(self):
+        truth = {"jhon": "john", "mry": "mary"}
+        repairs = [TermRepair("jhon", ("john",))]
+        report = score_term_repairs(repairs, truth)
+        assert report.precision == 1.0
+        assert report.recall == 0.5
+
+    def test_spurious_repair_hurts_precision(self):
+        truth = {"jhon": "john"}
+        repairs = [
+            TermRepair("jhon", ("john",)),
+            TermRepair("clean", ("something",)),
+        ]
+        report = score_term_repairs(repairs, truth)
+        assert report.precision == 0.5 and report.recall == 1.0
+
+    def test_empty_everything(self):
+        report = score_term_repairs([], {})
+        assert report.recall == 1.0
+
+    def test_f_score_zero_when_empty(self):
+        assert AccuracyReport(0.0, 0.0).f_score == 0.0
+
+    def test_as_row_rounding(self):
+        row = AccuracyReport(1 / 3, 2 / 3).as_row()
+        assert row["precision"] == pytest.approx(0.3333, abs=1e-4)
+
+
+class TestPairScoring:
+    def test_perfect(self):
+        truth = {(1, 2), (3, 4)}
+        report = score_pairs([(2, 1), (3, 4)], truth)
+        assert report.precision == 1.0 and report.recall == 1.0
+
+    def test_partial(self):
+        truth = {(1, 2), (3, 4)}
+        report = score_pairs([(1, 2), (5, 6)], truth)
+        assert report.precision == 0.5 and report.recall == 0.5
+
+    def test_empty_found(self):
+        report = score_pairs([], {(1, 2)})
+        assert report.precision == 0.0 and report.recall == 0.0
+
+
+class TestReporting:
+    def test_format_table_aligns(self):
+        text = format_table("T", [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}])
+        lines = text.splitlines()
+        assert lines[0] == "== T =="
+        assert len({len(l) for l in lines[1:]}) <= 2
+
+    def test_format_table_none_as_dash(self):
+        text = format_table("T", [{"a": None}])
+        assert "-" in text.splitlines()[-1]
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table("T", [])
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        assert speedup(1.0, 0.0) == float("inf")

@@ -1,0 +1,129 @@
+"""End-to-end scenarios: the paper's running example and file-backed flows."""
+
+import pytest
+
+from repro import CleanDB, PhysicalConfig
+from repro.datasets import generate_customer, generate_dblp
+from repro.evaluation import score_pairs, score_term_repairs
+from repro.sources import Catalog, Schema, write_records
+
+
+class TestRunningExample:
+    """The motivating example of §1/§4.4: FD + DEDUP + CLUSTER BY together."""
+
+    def make_db(self):
+        db = CleanDB(num_nodes=4, q=2)
+        customers = [
+            {"name": "stella g", "address": "rue lac 1", "phone": "021-111", "nationkey": 1},
+            {"name": "stela g", "address": "rue lac 1", "phone": "027-222", "nationkey": 1},
+            {"name": "manos k", "address": "rue gare 2", "phone": "022-111", "nationkey": 2},
+        ]
+        db.register_table("customer", customers)
+        db.register_table("dictionary", ["stella g", "manos k"])
+        return db
+
+    def test_full_query_runs_and_detects_everything(self):
+        db = self.make_db()
+        result = db.execute(
+            "SELECT c.name, c.address, * FROM customer c, dictionary d "
+            "FD(c.address, prefix(c.phone)) "
+            "DEDUP(exact, LD, 0.7, c.address) "
+            "CLUSTER BY(token_filtering, LD, 0.7, c.name)"
+        )
+        # FD: 'rue lac 1' maps to two phone prefixes.
+        assert {v["key"] for v in result.branch("fd1")} == {"rue lac 1"}
+        # DEDUP: the two rue-lac customers are duplicates.
+        assert len(result.branch("dedup")) == 1
+        # CLUSTER BY: the misspelled name is repaired.
+        assert ("stela g", "stella g") in result.branch("cluster_by")
+
+    def test_explain_shows_three_levels(self):
+        db = self.make_db()
+        text = db.explain(
+            "SELECT * FROM customer c, dictionary d "
+            "FD(c.address, prefix(c.phone)) DEDUP(exact, LD, 0.7, c.address)"
+        )
+        assert "coalesced groupings" in text
+
+
+class TestFileBackedPipeline:
+    def test_csv_to_cleandb(self, tmp_path):
+        schema = Schema.of(name="str", address="str", phone="str", nationkey="int")
+        rows = [
+            {"name": "a", "address": "x", "phone": "1-1", "nationkey": 1},
+            {"name": "b", "address": "x", "phone": "2-1", "nationkey": 2},
+        ]
+        path = tmp_path / "customer.csv"
+        write_records(path, rows, "csv", schema)
+        catalog = Catalog()
+        catalog.register("customer", path, "csv", schema)
+
+        db = CleanDB(num_nodes=2)
+        db.register_table("customer", catalog.load("customer"), fmt="csv")
+        result = db.execute("SELECT * FROM customer c FD(c.address, c.nationkey)")
+        assert {v["key"] for v in result.branch("fd1")} == {"x"}
+
+    @pytest.mark.parametrize("fmt", ["json", "columnar", "xml"])
+    def test_other_formats_round_trip_through_cleandb(self, tmp_path, fmt):
+        schema = Schema.of(name="str", address="str", phone="str", nationkey="int")
+        rows = [
+            {"name": "a", "address": "x", "phone": "1-1", "nationkey": 1},
+            {"name": "b", "address": "x", "phone": "2-1", "nationkey": 2},
+        ]
+        path = tmp_path / f"customer.{fmt}"
+        write_records(path, rows, fmt, schema)
+        catalog = Catalog()
+        catalog.register("customer", path, fmt, schema)
+        loaded = catalog.load("customer")
+        db = CleanDB(num_nodes=2)
+        db.register_table("customer", loaded, fmt=fmt)
+        result = db.execute("SELECT * FROM customer c FD(c.address, c.nationkey)")
+        assert len(result.branch("fd1")) == 1
+
+
+class TestAccuracyEndToEnd:
+    def test_customer_dedup_recovers_ground_truth(self):
+        from repro.baselines import CleanDBSystem
+        from repro.cleaning import deduplicate
+        from repro.engine import Cluster
+
+        data = generate_customer(num_customers=80, max_duplicates=4, edit_rate=0.1, seed=11)
+        cluster = Cluster(num_nodes=4)
+        ds = cluster.parallelize(data.records)
+        pairs = deduplicate(
+            ds, ["name", "phone"], block_on="custkey", theta=0.55
+        ).collect()
+        report = score_pairs(
+            [(p.left_id, p.right_id) for p in pairs], data.duplicate_pairs
+        )
+        assert report.precision == 1.0
+        assert report.recall > 0.8
+
+    def test_dblp_term_validation_accuracy(self):
+        from repro.cleaning import validate_terms
+        from repro.datasets.dblp import author_occurrences
+        from repro.engine import Cluster
+
+        data = generate_dblp(num_publications=150, num_authors=60, seed=13)
+        cluster = Cluster(num_nodes=4)
+        ds = cluster.parallelize(author_occurrences(data.records))
+        repairs = validate_terms(ds, data.dictionary, theta=0.75, q=2).collect()
+        report = score_term_repairs(repairs, data.dirty_names)
+        assert report.precision > 0.9
+        assert report.recall > 0.8
+
+
+class TestBudgetedEndToEnd:
+    def test_budget_exceeded_propagates_from_facade(self):
+        from repro.errors import BudgetExceededError
+
+        db = CleanDB(num_nodes=2, budget=5.0)
+        db.register_table("customer", [{"a": i} for i in range(100)])
+        with pytest.raises(BudgetExceededError):
+            db.execute("SELECT * FROM customer c")
+
+    def test_theta_config_cartesian_still_correct(self):
+        db = CleanDB(num_nodes=2, config=PhysicalConfig(theta="cartesian"))
+        db.register_table("customer", [{"a": 1, "address": "x", "nationkey": 1}])
+        result = db.execute("SELECT * FROM customer c")
+        assert len(result.branch("query")) == 1

@@ -1,0 +1,140 @@
+"""Unit tests for comprehension evaluation (the reference semantics)."""
+
+import pytest
+
+from repro.monoid import (
+    BagMonoid,
+    Bind,
+    BinOp,
+    Comprehension,
+    Const,
+    Filter,
+    Generator,
+    GroupMonoid,
+    MaxMonoid,
+    Proj,
+    SetMonoid,
+    SumMonoid,
+    Var,
+    evaluate_comprehension,
+    fresh_var,
+)
+
+
+def comp(monoid, head, *qualifiers):
+    return Comprehension(monoid, head, tuple(qualifiers))
+
+
+class TestBasicComprehensions:
+    def test_paper_sum_example(self):
+        # +{x | x <- [1,2,10], x < 5}  ==  3
+        c = comp(
+            SumMonoid(),
+            Var("x"),
+            Generator("x", Const([1, 2, 10])),
+            Filter(BinOp("<", Var("x"), Const(5))),
+        )
+        assert evaluate_comprehension(c) == 3
+
+    def test_paper_cross_product_example(self):
+        # set{(x,y) | x <- {1,2}, y <- {3,4}}
+        c = comp(
+            SetMonoid(),
+            BinOp("+", Var("x"), Var("y")),
+            Generator("x", Const([1, 2])),
+            Generator("y", Const([3, 4])),
+        )
+        assert evaluate_comprehension(c) == frozenset({4, 5, 6})
+
+    def test_bag_collects_duplicates(self):
+        c = comp(BagMonoid(), Const(1), Generator("x", Const([1, 2, 3])))
+        assert evaluate_comprehension(c) == [1, 1, 1]
+
+    def test_max(self):
+        c = comp(MaxMonoid(), Var("x"), Generator("x", Const([3, 8, 2])))
+        assert evaluate_comprehension(c) == 8
+
+    def test_empty_source_yields_zero(self):
+        c = comp(SumMonoid(), Var("x"), Generator("x", Const([])))
+        assert evaluate_comprehension(c) == 0
+
+    def test_bind_qualifier(self):
+        c = comp(
+            SumMonoid(),
+            Var("y"),
+            Generator("x", Const([1, 2])),
+            Bind("y", BinOp("*", Var("x"), Const(10))),
+        )
+        assert evaluate_comprehension(c) == 30
+
+    def test_filter_between_generators(self):
+        c = comp(
+            SumMonoid(),
+            Var("y"),
+            Generator("x", Const([1, 2, 3])),
+            Filter(BinOp(">", Var("x"), Const(1))),
+            Generator("y", Const([10])),
+        )
+        assert evaluate_comprehension(c) == 20
+
+    def test_env_provides_initial_bindings(self):
+        c = comp(SumMonoid(), Var("x"), Generator("x", Var("data")))
+        assert evaluate_comprehension(c, {"data": [4, 5]}) == 9
+
+
+class TestNestedComprehensions:
+    def test_comprehension_as_generator_source(self):
+        inner = comp(
+            BagMonoid(),
+            BinOp("*", Var("x"), Const(2)),
+            Generator("x", Const([1, 2])),
+        )
+        outer = comp(SumMonoid(), Var("y"), Generator("y", inner))
+        assert evaluate_comprehension(outer) == 6
+
+    def test_grouping_comprehension_iterates_as_group_records(self):
+        groups = comp(
+            GroupMonoid(key_func=lambda r: r["key"], value_func=lambda r: r["value"]),
+            # standard structural form: head builds {key, value}
+            _kv(Proj(Var("x"), "k"), Var("x")),
+            Generator("x", Var("data")),
+        )
+        outer = comp(
+            BagMonoid(),
+            Proj(Var("g"), "key"),
+            Generator("g", groups),
+        )
+        data = [{"k": "a"}, {"k": "b"}, {"k": "a"}]
+        result = evaluate_comprehension(outer, {"data": data})
+        assert sorted(result) == ["a", "b"]
+
+
+def _kv(key, value):
+    from repro.monoid import RecordCons
+
+    return RecordCons((("key", key), ("value", value)))
+
+
+class TestFreshVar:
+    def test_unique(self):
+        names = {fresh_var() for _ in range(100)}
+        assert len(names) == 100
+
+    def test_prefix(self):
+        assert fresh_var("g").startswith("$g")
+
+
+class TestComprehensionExpr:
+    def test_free_vars_excludes_bound(self):
+        c = comp(
+            SumMonoid(),
+            BinOp("+", Var("x"), Var("outer")),
+            Generator("x", Var("data")),
+        )
+        assert c.free_vars() == {"data", "outer"}
+
+    def test_substitute_respects_binding(self):
+        c = comp(SumMonoid(), Var("x"), Generator("x", Var("data")))
+        substituted = c.substitute({"data": Var("other"), "x": Const(99)})
+        assert substituted.qualifiers[0].source == Var("other")
+        assert substituted.head == Var("x")  # bound occurrence untouched

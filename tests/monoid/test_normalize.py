@@ -1,0 +1,212 @@
+"""Unit tests for the normalization rules (§4.2)."""
+
+from repro.monoid import (
+    AnyMonoid,
+    BagMonoid,
+    Bind,
+    BinOp,
+    Comprehension,
+    Const,
+    Filter,
+    Generator,
+    If,
+    Merge,
+    NormalizationTrace,
+    Proj,
+    RecordCons,
+    SetMonoid,
+    SumMonoid,
+    UnaryOp,
+    Var,
+    evaluate,
+    evaluate_comprehension,
+    normalize,
+)
+
+
+def comp(monoid, head, *qualifiers):
+    return Comprehension(monoid, head, tuple(qualifiers))
+
+
+def trace_of(expr):
+    trace = NormalizationTrace()
+    normalize(expr, trace)
+    return trace.applied
+
+
+class TestBetaReduction:
+    def test_bind_inlined(self):
+        c = comp(
+            SumMonoid(),
+            Var("y"),
+            Generator("x", Const([1, 2])),
+            Bind("y", BinOp("*", Var("x"), Const(3))),
+        )
+        result = normalize(c)
+        assert all(not isinstance(q, Bind) for q in result.qualifiers)
+        assert evaluate_comprehension(result) == 9
+
+    def test_trace_records_rule(self):
+        c = comp(SumMonoid(), Var("y"), Generator("x", Const([1])), Bind("y", Var("x")))
+        assert "N-bind" in trace_of(c)
+
+
+class TestStaticSimplification:
+    def test_constant_folding(self):
+        expr = BinOp("+", Const(2), Const(3))
+        assert normalize(expr) == Const(5)
+
+    def test_proj_on_record_cons(self):
+        expr = Proj(RecordCons.of(a=Const(1), b=Const(2)), "a")
+        assert normalize(expr) == Const(1)
+
+    def test_if_with_constant_condition(self):
+        expr = If(Const(True), Var("t"), Var("e"))
+        assert normalize(expr) == Var("t")
+
+    def test_not_folding(self):
+        assert normalize(UnaryOp("not", Const(False))) == Const(True)
+
+    def test_and_with_true_side(self):
+        expr = BinOp("and", Const(True), Var("p"))
+        assert normalize(expr) == Var("p")
+
+    def test_and_with_false_side(self):
+        expr = BinOp("and", Var("p"), Const(False))
+        assert normalize(expr) == Const(False)
+
+    def test_or_folding(self):
+        assert normalize(BinOp("or", Const(False), Var("p"))) == Var("p")
+
+    def test_true_filter_dropped(self):
+        c = comp(SumMonoid(), Var("x"), Generator("x", Var("d")), Filter(Const(True)))
+        result = normalize(c)
+        assert all(not isinstance(q, Filter) for q in result.qualifiers)
+
+    def test_false_filter_collapses_to_zero(self):
+        c = comp(SumMonoid(), Var("x"), Generator("x", Var("d")), Filter(Const(False)))
+        assert normalize(c) == Const(0)
+
+
+class TestGeneratorRules:
+    def test_empty_collection_collapses(self):
+        c = comp(SumMonoid(), Var("x"), Generator("x", Const([])))
+        assert normalize(c) == Const(0)
+
+    def test_singleton_becomes_bind_then_inlines(self):
+        c = comp(SumMonoid(), Var("x"), Generator("x", Const([7])))
+        result = normalize(c)
+        assert evaluate(result, {}) == 7 or evaluate_comprehension(result) == 7
+
+    def test_flatten_nested_bag(self):
+        inner = comp(BagMonoid(), BinOp("*", Var("x"), Const(2)), Generator("x", Var("d")))
+        outer = comp(SumMonoid(), Var("y"), Generator("y", inner))
+        result = normalize(outer)
+        # After flattening there is a single comprehension over d.
+        assert isinstance(result, Comprehension)
+        gens = [q for q in result.qualifiers if isinstance(q, Generator)]
+        assert len(gens) == 1 and gens[0].source == Var("d")
+        assert evaluate_comprehension(result, {"d": [1, 2, 3]}) == 12
+
+    def test_grouping_comprehension_not_flattened(self):
+        from repro.algebra import make_group_comprehension
+
+        groups = make_group_comprehension(
+            key=Proj(Var("x"), "k"),
+            value=Var("x"),
+            qualifiers=(Generator("x", Var("d")),),
+        )
+        outer = comp(BagMonoid(), Var("g"), Generator("g", groups))
+        result = normalize(outer)
+        assert isinstance(result.qualifiers[0].source, Comprehension)
+
+
+class TestExistsUnnesting:
+    def test_exists_unnested_into_idempotent_outer(self):
+        exists = comp(
+            AnyMonoid(),
+            BinOp("==", Var("y"), Var("x")),
+            Generator("y", Var("other")),
+        )
+        outer = comp(
+            SetMonoid(), Var("x"), Generator("x", Var("d")), Filter(exists)
+        )
+        result = normalize(outer)
+        gens = [q for q in result.qualifiers if isinstance(q, Generator)]
+        assert len(gens) == 2
+        value = evaluate_comprehension(result, {"d": [1, 2, 3], "other": [2, 3, 4]})
+        assert value == frozenset({2, 3})
+
+    def test_exists_not_unnested_for_bag(self):
+        # Bags are not idempotent: unnesting would duplicate outputs.
+        exists = comp(AnyMonoid(), Const(True), Generator("y", Var("other")))
+        outer = comp(BagMonoid(), Var("x"), Generator("x", Var("d")), Filter(exists))
+        result = normalize(outer)
+        gens = [q for q in result.qualifiers if isinstance(q, Generator)]
+        assert len(gens) == 1
+
+
+class TestIfSplit:
+    def test_if_head_splits_into_merge(self):
+        c = comp(
+            BagMonoid(),
+            If(BinOp(">", Var("x"), Const(1)), Const("big"), Const("small")),
+            Generator("x", Var("d")),
+        )
+        result = normalize(c)
+        assert isinstance(result, Merge)
+        value = evaluate(result, {"d": [0, 2]})
+        assert sorted(value) == ["big", "small"]
+
+    def test_if_split_preserves_semantics_with_filters(self):
+        c = comp(
+            BagMonoid(),
+            If(BinOp(">", Var("x"), Const(2)), Var("x"), Const(0)),
+            Generator("x", Var("d")),
+            Filter(BinOp("<", Var("x"), Const(10))),
+        )
+        data = {"d": [1, 3, 5, 11]}
+        assert sorted(evaluate(normalize(c), dict(data))) == sorted(
+            evaluate_comprehension(c, dict(data))
+        )
+
+
+class TestFilterPushdown:
+    def test_filter_moves_before_unrelated_generator(self):
+        c = comp(
+            SumMonoid(),
+            BinOp("+", Var("x"), Var("y")),
+            Generator("x", Var("a")),
+            Generator("y", Var("b")),
+            Filter(BinOp(">", Var("x"), Const(0))),
+        )
+        result = normalize(c)
+        kinds = [type(q).__name__ for q in result.qualifiers]
+        assert kinds == ["Generator", "Filter", "Generator"]
+
+    def test_pushdown_reaches_fixpoint(self):
+        # Two filters with identical dependencies must not oscillate.
+        c = comp(
+            SumMonoid(),
+            Var("x"),
+            Generator("x", Var("a")),
+            Generator("y", Var("b")),
+            Filter(BinOp(">", Var("x"), Const(0))),
+            Filter(BinOp("<", Var("x"), Const(9))),
+        )
+        once = normalize(c)
+        twice = normalize(once)
+        assert once == twice
+
+    def test_semantics_preserved(self):
+        c = comp(
+            SumMonoid(),
+            BinOp("+", Var("x"), Var("y")),
+            Generator("x", Var("a")),
+            Generator("y", Var("b")),
+            Filter(BinOp(">", Var("x"), Const(1))),
+        )
+        env = {"a": [1, 2, 3], "b": [10, 20]}
+        assert evaluate_comprehension(normalize(c), dict(env)) == (
+            evaluate_comprehension(c, dict(env))
+        )

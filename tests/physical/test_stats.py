@@ -1,0 +1,77 @@
+"""Unit tests for statistics collection."""
+
+import pytest
+
+from repro.physical import (
+    build_histogram,
+    collect_key_stats,
+    zipf_skew_estimate,
+)
+
+
+class TestHistogram:
+    def test_counts_sum_to_total(self):
+        h = build_histogram(range(100), num_buckets=10)
+        assert h.total == 100
+
+    def test_uniform_spread(self):
+        h = build_histogram(range(100), num_buckets=10)
+        assert all(c == 10 for c in h.counts)
+
+    def test_bucket_of_bounds(self):
+        h = build_histogram(range(100), num_buckets=10)
+        assert h.bucket_of(0) == 0
+        assert h.bucket_of(99) == 9
+        assert h.bucket_of(-5) == 0
+        assert h.bucket_of(500) == 9
+
+    def test_selectivity_full_range(self):
+        h = build_histogram(range(100), num_buckets=10)
+        assert h.selectivity(0, 99) == pytest.approx(1.0)
+
+    def test_selectivity_narrow_range(self):
+        h = build_histogram(range(100), num_buckets=10)
+        assert h.selectivity(0, 9) <= 0.25
+
+    def test_empty_input(self):
+        h = build_histogram([])
+        assert h.total == 0
+        assert h.selectivity(0, 1) == 0.0
+
+    def test_constant_values(self):
+        h = build_histogram([5.0] * 10)
+        assert h.counts[0] == 10
+        assert h.bucket_of(5.0) == 0
+
+
+class TestKeyStats:
+    def test_uniform_keys_not_skewed(self):
+        records = [{"k": i} for i in range(100)]
+        stats = collect_key_stats(records, lambda r: r["k"])
+        assert stats.distinct == 100
+        assert stats.skew_ratio == pytest.approx(1.0)
+        assert not stats.is_skewed
+
+    def test_hot_key_detected(self):
+        records = [{"k": 0}] * 90 + [{"k": i} for i in range(1, 11)]
+        stats = collect_key_stats(records, lambda r: r["k"])
+        assert stats.max_frequency == 90
+        assert stats.is_skewed
+        assert stats.top_keys[0] == (0, 90)
+
+    def test_empty(self):
+        stats = collect_key_stats([], lambda r: r)
+        assert stats.distinct == 0 and not stats.is_skewed
+
+
+class TestZipfEstimate:
+    def test_uniform_gives_zero(self):
+        assert zipf_skew_estimate([10, 10, 10]) == 0.0
+
+    def test_steeper_distribution_higher_estimate(self):
+        mild = zipf_skew_estimate([100, 80, 60, 40, 20])
+        steep = zipf_skew_estimate([1000, 100, 10, 5, 1])
+        assert steep > mild
+
+    def test_short_input(self):
+        assert zipf_skew_estimate([5]) == 0.0

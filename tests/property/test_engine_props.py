@@ -1,0 +1,104 @@
+"""Property-based tests for the engine: partition-invariance of results.
+
+A scale-out engine's defining invariant is that *how* data is partitioned
+never changes *what* is computed — only the cost.  These tests vary the
+partition count and shuffle strategy and require identical answers.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Cluster
+
+pairs = st.lists(
+    st.tuples(st.integers(0, 8), st.integers(-50, 50)), min_size=0, max_size=60
+)
+
+
+@settings(max_examples=40)
+@given(pairs, st.integers(min_value=1, max_value=7))
+def test_group_by_key_partition_invariance(data, parts):
+    c = Cluster(num_nodes=3)
+    grouped = dict(
+        c.parallelize(data, num_partitions=parts).group_by_key().collect()
+    )
+    expected: dict = {}
+    for k, v in data:
+        expected.setdefault(k, []).append(v)
+    assert {k: sorted(v) for k, v in grouped.items()} == {
+        k: sorted(v) for k, v in expected.items()
+    }
+
+
+@settings(max_examples=40)
+@given(pairs, st.sampled_from(["sort", "hash"]))
+def test_shuffle_strategy_does_not_change_grouping(data, kind):
+    c = Cluster(num_nodes=4)
+    grouped = dict(
+        c.parallelize(data).group_by_key(shuffle_kind=kind).collect()
+    )
+    expected: dict = {}
+    for k, v in data:
+        expected.setdefault(k, []).append(v)
+    assert {k: sorted(v) for k, v in grouped.items()} == {
+        k: sorted(v) for k, v in expected.items()
+    }
+
+
+@settings(max_examples=40)
+@given(pairs)
+def test_aggregate_by_key_equals_group_then_reduce(data):
+    c = Cluster(num_nodes=4)
+    agg = dict(
+        c.parallelize(data)
+        .aggregate_by_key(lambda: 0, lambda a, v: a + v, lambda a, b: a + b)
+        .collect()
+    )
+    expected: dict = {}
+    for k, v in data:
+        expected[k] = expected.get(k, 0) + v
+    assert agg == expected
+
+
+@settings(max_examples=30)
+@given(st.lists(st.integers(-100, 100), max_size=50), st.integers(1, 6))
+def test_map_filter_partition_invariance(xs, parts):
+    c = Cluster(num_nodes=2)
+    out = (
+        c.parallelize(xs, num_partitions=parts)
+        .map(lambda x: x * 3)
+        .filter(lambda x: x % 2 == 0)
+        .collect()
+    )
+    assert sorted(out) == sorted(x * 3 for x in xs if (x * 3) % 2 == 0)
+
+
+@settings(max_examples=30)
+@given(st.lists(st.integers(0, 20), max_size=40))
+def test_distinct_matches_set(xs):
+    c = Cluster(num_nodes=3)
+    assert sorted(c.parallelize(xs).distinct().collect()) == sorted(set(xs))
+
+
+@settings(max_examples=30)
+@given(
+    st.lists(st.tuples(st.integers(0, 5), st.text("ab", max_size=3)), max_size=30),
+    st.lists(st.tuples(st.integers(0, 5), st.text("cd", max_size=3)), max_size=30),
+)
+def test_join_matches_nested_loop(left, right):
+    c = Cluster(num_nodes=3)
+    joined = c.parallelize(left).join(c.parallelize(right)).collect()
+    expected = [
+        (kl, (vl, vr)) for kl, vl in left for kr, vr in right if kl == kr
+    ]
+    assert sorted(joined, key=repr) == sorted(expected, key=repr)
+
+
+@settings(max_examples=20)
+@given(st.lists(st.integers(0, 30), max_size=40), st.integers(1, 8))
+def test_simulated_time_monotone_nonnegative(xs, parts):
+    c = Cluster(num_nodes=4)
+    ds = c.parallelize(xs, num_partitions=parts)
+    t0 = c.metrics.simulated_time
+    ds.map(lambda x: x + 1).filter(lambda x: x > 0).collect()
+    assert c.metrics.simulated_time >= t0 >= 0.0

@@ -1,0 +1,75 @@
+"""Property-based tests for similarity metrics and tokenization."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cleaning import (
+    jaccard_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    qgrams,
+    similar,
+)
+
+words = st.text(alphabet="abcdefghij ", min_size=0, max_size=12)
+
+
+@given(words, words)
+def test_levenshtein_symmetry(a, b):
+    assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
+
+
+@given(words)
+def test_levenshtein_identity(a):
+    assert levenshtein_distance(a, a) == 0
+    assert levenshtein_similarity(a, a) == 1.0
+
+
+@given(words, words, words)
+def test_levenshtein_triangle_inequality(a, b, c):
+    assert levenshtein_distance(a, c) <= (
+        levenshtein_distance(a, b) + levenshtein_distance(b, c)
+    )
+
+
+@given(words, words)
+def test_levenshtein_bounded_by_longer_string(a, b):
+    assert levenshtein_distance(a, b) <= max(len(a), len(b))
+
+
+@given(words, words)
+def test_similarities_in_unit_interval(a, b):
+    for metric in (levenshtein_similarity, jaccard_similarity, jaro_winkler_similarity):
+        assert 0.0 <= metric(a, b) <= 1.0
+
+
+@given(words, words, st.floats(min_value=0.1, max_value=1.0))
+def test_banded_similar_agrees_with_plain(a, b, theta):
+    assert similar("LD", a, b, theta) == (levenshtein_similarity(a, b) >= theta)
+
+
+@given(words, st.integers(min_value=1, max_value=5))
+def test_qgram_count(text, q):
+    grams = qgrams(text, q)
+    if len(text) >= q:
+        assert len(grams) == len(text) - q + 1
+    elif text:
+        assert grams == [text]
+    else:
+        assert grams == []
+
+
+@given(words, st.integers(min_value=1, max_value=4))
+def test_qgrams_are_substrings(text, q):
+    assert all(g in text for g in qgrams(text, q))
+
+
+@given(st.text(alphabet="abc", min_size=1, max_size=10))
+def test_one_edit_keeps_shared_qgram_for_long_words(word):
+    # Token filtering's recall argument: a dirty word keeps at least one
+    # clean token when only a small fraction of characters changed.
+    if len(word) >= 4:
+        edited = "z" + word[1:]  # one substitution at the edge
+        shared = set(qgrams(word, 2)) & set(qgrams(edited, 2))
+        assert shared
