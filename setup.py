@@ -1,2 +1,50 @@
-from setuptools import setup
-setup()
+"""Package definition for the CleanM/CleanDB reproduction.
+
+The library is pure Python with no runtime dependencies; the test and
+benchmark suites need ``pytest`` and ``pytest-benchmark`` (the ``test``
+extra).  Installing exposes the ``repro`` console command
+(``repro query --execution vectorized ...``; see README.md).
+"""
+
+from pathlib import Path
+
+from setuptools import find_packages, setup
+
+README = Path(__file__).parent / "README.md"
+
+setup(
+    name="cleanm-repro",
+    version="1.0.0",
+    description=(
+        "Executable reproduction of 'CleanM: An Optimizable Query Language "
+        "for Unified Scale-Out Data Cleaning' (VLDB 2017)"
+    ),
+    long_description=README.read_text(encoding="utf-8") if README.exists() else "",
+    long_description_content_type="text/markdown",
+    author="cleanm-repro contributors",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=[],  # pure stdlib by design; see ROADMAP.md
+    extras_require={
+        "test": ["pytest>=7", "pytest-benchmark>=4"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Database",
+        "Topic :: Scientific/Engineering :: Information Analysis",
+    ],
+    keywords="data-cleaning query-optimization monoid-comprehensions vldb reproduction",
+)

@@ -31,8 +31,13 @@ import math
 import time
 from typing import Any, Callable, Sequence
 
-from ..cleaning.dedup import deduplicate
-from ..cleaning.denial import DenialConstraint, check_dc, check_fd
+from ..cleaning.dedup import deduplicate, deduplicate_columnar
+from ..cleaning.denial import (
+    DenialConstraint,
+    check_dc,
+    check_fd,
+    check_fd_columnar,
+)
 from ..cleaning.similarity import get_metric
 from ..cleaning.term_validation import validate_terms
 from ..engine.cluster import Cluster
@@ -42,7 +47,14 @@ from ..evaluation.runner import RunResult
 
 
 class System:
-    """Base: shared run harness with budget/unsupported handling."""
+    """Base: shared run harness with budget/unsupported handling.
+
+    ``execution`` selects the physical representation: ``"row"`` streams
+    per-record environments, ``"vectorized"`` runs the column-batch fast
+    paths (FD checks and exact-key dedup) where they apply.  Only CleanDB
+    exercises the vectorized backend in the benchmarks; the baselines model
+    systems without one.
+    """
 
     name = "system"
     grouping = "aggregate"
@@ -53,10 +65,16 @@ class System:
         num_nodes: int = 10,
         budget: float = math.inf,
         cost_model: CostModel | None = None,
+        execution: str = "row",
     ):
+        if execution not in ("row", "vectorized"):
+            raise ValueError(
+                f"unknown execution backend {execution!r}; expected 'row' or 'vectorized'"
+            )
         self.num_nodes = num_nodes
         self.budget = budget
         self.cost_model = cost_model or CostModel()
+        self.execution = execution
 
     def new_cluster(self) -> Cluster:
         return Cluster(
@@ -104,6 +122,10 @@ class System:
         fmt: str = "memory",
     ) -> RunResult:
         def action(cluster: Cluster) -> list:
+            if self.execution == "vectorized" and self.grouping == "aggregate":
+                return check_fd_columnar(
+                    cluster, records, list(lhs), list(rhs), fmt=fmt
+                ).collect()
             ds = cluster.parallelize(records, fmt=fmt, name="lineitem")
             return check_fd(ds, list(lhs), list(rhs), grouping=self.grouping).collect()
 
@@ -131,6 +153,16 @@ class System:
         fmt: str = "memory",
     ) -> RunResult:
         def action(cluster: Cluster) -> list:
+            if self.execution == "vectorized" and self.grouping == "aggregate":
+                return deduplicate_columnar(
+                    cluster,
+                    records,
+                    list(attributes),
+                    metric=metric,
+                    theta=theta,
+                    block_on=block_on,
+                    fmt=fmt,
+                ).collect()
             ds = cluster.parallelize(records, fmt=fmt, name="input")
             return deduplicate(
                 ds,

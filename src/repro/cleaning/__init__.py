@@ -10,7 +10,13 @@ from .closure import (
     entity_clusters,
     fuse_duplicates,
 )
-from .dedup import DuplicatePair, deduplicate, ensure_rids, pairwise_within_blocks
+from .dedup import (
+    DuplicatePair,
+    deduplicate,
+    deduplicate_columnar,
+    ensure_rids,
+    pairwise_within_blocks,
+)
 from .domain import (
     DomainRule,
     DomainViolation,
@@ -29,6 +35,7 @@ from .denial import (
     TuplePredicate,
     check_dc,
     check_fd,
+    check_fd_columnar,
 )
 from .kmeans import (
     assign_to_centers,
@@ -65,9 +72,10 @@ from .transform import (
 
 __all__ = [
     "key_blocks", "kmeans_blocks", "length_blocks", "make_blocks", "token_blocks",
-    "DuplicatePair", "deduplicate", "ensure_rids", "pairwise_within_blocks",
+    "DuplicatePair", "deduplicate", "deduplicate_columnar", "ensure_rids",
+    "pairwise_within_blocks",
     "DenialConstraint", "FDViolation", "SingleFilter", "TuplePredicate",
-    "check_dc", "check_fd",
+    "check_dc", "check_fd", "check_fd_columnar",
     "DomainRule", "DomainViolation", "InRange", "InSet", "Matches", "NotNull",
     "Satisfies", "check_domains", "violation_summary",
     "assign_to_centers", "fixed_step_centers", "hierarchical_cluster",

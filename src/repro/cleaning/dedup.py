@@ -18,11 +18,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
+from ..engine.cluster import Cluster
 from ..engine.dataset import Dataset
+from ..engine.partitioner import stable_hash
+from ..sources.columnar import batch_partitions
 from .blocking import key_blocks, make_blocks
 from .similarity import get_metric
 
 RID = "_rid"
+
+BlockSpec = str | Sequence[str] | Callable[[dict], Any] | None
+
+_MISSING = object()  # sentinel: attribute absent from the batch entirely
 
 
 @dataclass(frozen=True)
@@ -51,7 +58,7 @@ def deduplicate(
     attributes: Sequence[str],
     metric: str = "LD",
     theta: float = 0.8,
-    block_on: str | Callable[[dict], Any] | None = None,
+    block_on: BlockSpec = None,
     op: str | None = None,
     op_params: dict | None = None,
     grouping: str = "aggregate",
@@ -63,9 +70,10 @@ def deduplicate(
     ``attributes``
         The fields whose (average) similarity decides a match.
     ``block_on``
-        Exact-key blocking: an attribute name or key function; records in
-        different blocks are never compared.  This is the "same journal and
-        title" blocking of the DBLP experiment.
+        Exact-key blocking: an attribute name, a sequence of attribute
+        names, or a key function; records in different blocks are never
+        compared.  This is the "same journal and title" blocking of the
+        DBLP experiment.
     ``op``
         Alternatively, a pruning op (``"token_filtering"``, ``"kmeans"``,
         ``"length_filtering"``) applied to the concatenated ``attributes``.
@@ -82,10 +90,7 @@ def deduplicate(
 
     with_ids = ensure_rids(dataset)
     if block_on is not None:
-        key_func = (
-            block_on if callable(block_on) else (lambda r, _a=block_on: r.get(_a))
-        )
-        blocks = key_blocks(with_ids, key_func, grouping=grouping)
+        blocks = key_blocks(with_ids, _block_key_func(block_on), grouping=grouping)
     elif op is not None:
         term = _concat_terms(attributes)
         blocks = make_blocks(op, with_ids, term, grouping=grouping, **(op_params or {}))
@@ -156,3 +161,174 @@ def pairwise_within_blocks(
 
 def _concat_terms(attributes: Sequence[str]) -> Callable[[dict], str]:
     return lambda record: " ".join(str(record.get(a, "")) for a in attributes)
+
+
+def _block_key_func(block_on: BlockSpec) -> Callable[[dict], Any]:
+    """Normalize a blocking spec into a record → key function."""
+    if callable(block_on):
+        return block_on
+    if isinstance(block_on, str):
+        return lambda r, _a=block_on: r.get(_a)
+    attrs = list(block_on or ())
+    return lambda r, _attrs=attrs: tuple(r.get(a) for a in _attrs)
+
+
+def deduplicate_columnar(
+    cluster: Cluster,
+    records: Sequence[dict],
+    attributes: Sequence[str],
+    metric: str = "LD",
+    theta: float = 0.8,
+    block_on: BlockSpec = None,
+    fmt: str = "memory",
+    batch_size: int = 1024,
+) -> Dataset:
+    """Vectorized exact-key deduplication: the column-batch fast path.
+
+    The scan and the blocking phase run over column batches: block keys come
+    straight from attribute columns (one fetch per attribute per batch), and
+    blocks hold *row references* instead of record dicts until the pairwise
+    phase.  The similarity phase compares attribute columns element-wise and
+    materializes full records only for reported pairs (late
+    materialization).  Comparison counts, similarity maths, and the output
+    pairs match :func:`deduplicate` with ``block_on`` exact-key blocking.
+
+    Falls back to the row path when records are not uniform dict rows or
+    when ``block_on`` needs full rows and the data cannot be columnarized.
+    """
+    if not attributes:
+        raise ValueError("deduplicate needs at least one comparison attribute")
+    records = records if isinstance(records, list) else list(records)
+    batches = batch_partitions(records, cluster.default_parallelism)
+    if batches is None:  # heterogeneous rows: row-at-a-time fallback
+        ds = cluster.parallelize(records, fmt=fmt, name="input")
+        return deduplicate(
+            ds, list(attributes), metric=metric, theta=theta, block_on=block_on
+        )
+
+    def _charge(name: str, per_part_rows: list[float], **kwargs: Any) -> None:
+        cluster.record_batch_stage(name, per_part_rows, batch_size=batch_size, **kwargs)
+
+    _charge(
+        "scan:input:vec",
+        [float(len(b)) for b in batches],
+        extra_unit=cluster.cost_model.scan_unit(fmt),
+    )
+
+    # Assign stable row ids column-wise if the source has none (mirrors
+    # ensure_rids: partition-by-partition sequential numbering).
+    has_rids = bool(records) and RID in records[0]
+    rid_cols: list[list[Any]] = []
+    next_rid = 0
+    for batch in batches:
+        if has_rids:
+            rid_cols.append(batch.column(RID))
+        else:
+            rid_cols.append(list(range(next_rid, next_rid + len(batch))))
+            next_rid += len(batch)
+
+    # Blocking: group row references by key, combine-style (local groups,
+    # then one shuffled group object per (partition, key) pair).
+    local: list[dict[Any, list[int]]] = []
+    for batch in batches:
+        keys = _block_key_column(batch, block_on, attributes)
+        groups: dict[Any, list[int]] = {}
+        for i, key in enumerate(keys):
+            groups.setdefault(key, []).append(i)
+        local.append(groups)
+    _charge("grouping:key:vec", [float(len(b)) for b in batches])
+
+    n = cluster.default_parallelism
+    moved = sum(len(g) for g in local)
+    shuffle_cost = cluster.cost_model.batch_shuffle_cost(moved)
+    merged: list[dict[Any, list[tuple[int, int]]]] = [{} for _ in range(n)]
+    for part_idx, groups in enumerate(local):
+        for key, rows in groups.items():
+            target = merged[stable_hash(key) % n]
+            target.setdefault(key, []).extend((part_idx, i) for i in rows)
+    _charge(
+        "grouping:key:vecMerge",
+        [float(sum(len(rows) for rows in g.values())) for g in merged],
+        shuffled_records=moved,
+        shuffle_cost=shuffle_cost,
+    )
+
+    # Pairwise similarity within blocks, reading attribute columns directly.
+    sim = get_metric(metric)
+    compare_unit = cluster.cost_model.compare_unit
+    attr_cols = [
+        {a: [str(v) for v in batch.column(a)] for a in attributes}
+        if all(a in batch.columns for a in attributes)
+        else {a: [str(batch.row(i).get(a, "")) for i in range(len(batch))]
+              for a in attributes}
+        for batch in batches
+    ]
+    out_parts: list[list[DuplicatePair]] = []
+    per_part_work: list[float] = []
+    comparisons = 0
+    seen: set[tuple[int, int]] = set()
+    for groups in merged:
+        work = 0.0
+        out: list[DuplicatePair] = []
+        for rows in groups.values():
+            for x in range(len(rows)):
+                for y in range(x + 1, len(rows)):
+                    (pa, ia), (pb, ib) = rows[x], rows[y]
+                    rid_a, rid_b = rid_cols[pa][ia], rid_cols[pb][ib]
+                    if rid_a == rid_b:
+                        continue
+                    pair_key = (min(rid_a, rid_b), max(rid_a, rid_b))
+                    if pair_key in seen:
+                        continue
+                    seen.add(pair_key)
+                    comparisons += 1
+                    total = 0.0
+                    for attr in attributes:
+                        sa = attr_cols[pa][attr][ia]
+                        sb = attr_cols[pb][attr][ib]
+                        work += (len(sa) + len(sb)) * compare_unit
+                        total += sim(sa, sb)
+                    if total / len(attributes) >= theta:
+                        left = _rebuild_row(batches[pa], ia, rid_cols[pa][ia], has_rids)
+                        right = _rebuild_row(batches[pb], ib, rid_cols[pb][ib], has_rids)
+                        if rid_a <= rid_b:
+                            out.append(DuplicatePair(rid_a, rid_b, left, right))
+                        else:
+                            out.append(DuplicatePair(rid_b, rid_a, right, left))
+        per_part_work.append(work)
+        out_parts.append(out)
+    cluster.charge_comparisons(comparisons)
+    cluster.record_op("similarity:dedup", cluster.spread_over_nodes(per_part_work))
+    return Dataset(cluster, out_parts, op="dedup:vectorized")
+
+
+def _block_key_column(batch: Any, key_spec: BlockSpec, attributes: Sequence[str]) -> list[Any]:
+    """Block keys for one batch, column-wise where the spec allows."""
+    if callable(key_spec):
+        return [key_spec(batch.row(i)) for i in range(len(batch))]
+    if isinstance(key_spec, str):
+        if key_spec in batch.columns:
+            return batch.column(key_spec)
+        return [None] * len(batch)
+    attrs = list(key_spec or attributes)
+    cols = [
+        batch.column(a) if a in batch.columns else [_MISSING] * len(batch)
+        for a in attrs
+    ]
+    if key_spec is None:
+        # Default blocking stringifies the comparison attributes, matching
+        # the row path's ``str(r.get(a, ""))`` key function.
+        return [
+            tuple("" if v is _MISSING else str(v) for v in vals)
+            for vals in zip(*cols)
+        ]
+    return [
+        tuple(None if v is _MISSING else v for v in vals) for vals in zip(*cols)
+    ]
+
+
+def _rebuild_row(batch: Any, index: int, rid: Any, has_rids: bool) -> dict:
+    row = batch.row(index)
+    if not has_rids:
+        row = {**row, RID: rid}
+    return row

@@ -96,6 +96,12 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument("--nodes", type=int, default=10, help="simulated cluster size")
         p.add_argument("--budget", type=float, default=None, help="execution budget")
+        p.add_argument(
+            "--execution",
+            choices=("row", "vectorized"),
+            default="row",
+            help="physical backend: per-row environments or column batches",
+        )
         p.add_argument("--no-coalesce", action="store_true", help="disable §5 rewrites")
         p.add_argument("--metrics", action="store_true", help="print execution metrics")
         p.add_argument("sql", help="the CleanM query text (or @file to read one)")
@@ -120,6 +126,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     db = CleanDB(
         num_nodes=args.nodes,
         budget=args.budget if args.budget is not None else math.inf,
+        execution=args.execution,
         coalesce=not args.no_coalesce,
     )
     try:

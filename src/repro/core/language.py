@@ -10,7 +10,7 @@ cluster.  ``explain()`` shows what every level produced.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Sequence
 
 from ..algebra.operators import AlgebraOp, SharedScanDAG
@@ -89,6 +89,11 @@ class CleanDB:
     config:
         Physical strategy knobs; defaults to the CleanDB strategies
         (local pre-aggregation, matrix theta join).
+    execution:
+        Physical backend selection: ``"row"`` (per-row environments) or
+        ``"vectorized"`` (column batches with selection vectors; supported
+        subplans run batch-at-a-time, the rest falls back to the row path).
+        Shorthand for passing ``config=PhysicalConfig(execution=...)``.
     coalesce:
         Enable the §5 operator-coalescing rewrite (on by default; the
         baselines turn it off).
@@ -103,6 +108,7 @@ class CleanDB:
         budget: float = math.inf,
         cost_model: CostModel | None = None,
         config: PhysicalConfig | None = None,
+        execution: str | None = None,
         coalesce: bool = True,
         use_codegen: bool = False,
         q: int = 3,
@@ -112,6 +118,15 @@ class CleanDB:
     ):
         self.cluster = Cluster(num_nodes=num_nodes, cost_model=cost_model, budget=budget)
         self.config = config or PhysicalConfig()
+        if execution is not None:
+            if execution not in ("row", "vectorized"):
+                raise PlanningError(
+                    f"unknown execution backend {execution!r}; "
+                    "expected 'row' or 'vectorized'"
+                )
+            # Copy before overriding: the caller's config object must not
+            # change under them (it may be shared across CleanDB instances).
+            self.config = replace(self.config, execution=execution)
         self.coalesce = coalesce
         self.use_codegen = use_codegen
         self.q = q
@@ -205,7 +220,8 @@ class CleanDB:
         lines.append("== Physical plan ==")
         lines.append(plan.dag.describe(1))
         lines.append(
-            f"  [grouping={self.config.grouping}, theta={self.config.theta}]"
+            f"  [grouping={self.config.grouping}, theta={self.config.theta}, "
+            f"execution={self.config.execution}]"
         )
         return "\n".join(lines)
 

@@ -78,6 +78,76 @@ class Cluster:
             )
         return op
 
+    def record_batch_op(
+        self,
+        name: str,
+        per_node_rows: Sequence[float],
+        num_batches: int,
+        shuffled_records: int = 0,
+        shuffle_cost: float = 0.0,
+        extra_unit: float = 0.0,
+    ) -> OpMetrics:
+        """Record one *vectorized* operation over column batches.
+
+        Per-row CPU is charged at the vectorized rate
+        (``cost_model.vector_record_unit`` plus ``extra_unit``, e.g. a
+        per-format scan cost), and each batch pays the fixed dispatch
+        overhead ``cost_model.batch_unit`` — the accounting counterpart of
+        "one virtual call per batch instead of one per row".  Batch overhead
+        is spread round-robin like partition placement.
+        """
+        unit = self.cost_model.vector_record_unit + extra_unit
+        work = [rows * unit for rows in per_node_rows]
+        if num_batches and work:
+            overhead = self.cost_model.batch_unit
+            for i in range(num_batches):
+                work[i % len(work)] += overhead
+        op = OpMetrics(
+            name=name,
+            per_node_work=work,
+            shuffled_records=shuffled_records,
+            shuffle_cost=shuffle_cost,
+            batches=num_batches,
+        )
+        self.metrics.record(op)
+        spent = self.metrics.simulated_time
+        if spent > self.budget:
+            raise BudgetExceededError(
+                f"simulated cost {spent:.0f} exceeded budget {self.budget:.0f} "
+                f"during {name!r}",
+                spent=spent,
+                budget=self.budget,
+            )
+        return op
+
+    def record_batch_stage(
+        self,
+        name: str,
+        per_part_rows: Sequence[float],
+        batch_size: int = 1024,
+        shuffled_records: int = 0,
+        shuffle_cost: float = 0.0,
+        extra_unit: float = 0.0,
+    ) -> OpMetrics:
+        """:meth:`record_batch_op` from *per-partition* row counts.
+
+        Spreads the partitions over nodes round-robin and derives the batch
+        count as ceil(rows / batch_size) per non-empty partition — the one
+        formula every vectorized stage (query backend and cleaning fast
+        paths alike) uses.
+        """
+        per_node = self.spread_over_nodes([float(r) for r in per_part_rows])
+        size = max(1, int(batch_size))
+        num_batches = sum(-(-int(r) // size) for r in per_part_rows if r)
+        return self.record_batch_op(
+            name,
+            per_node,
+            num_batches,
+            shuffled_records=shuffled_records,
+            shuffle_cost=shuffle_cost,
+            extra_unit=extra_unit,
+        )
+
     def charge_comparisons(self, count: int) -> None:
         """Count similarity/predicate comparisons (reported by benchmarks)."""
         self.metrics.comparisons += count

@@ -16,11 +16,13 @@ from .theta_join import (
     theta_join_matrix,
     theta_join_minmax,
 )
+from .vectorized import EnvBatch, VectorizedExecutor, eval_column
 
 __all__ = [
     "CodeGenerator", "GeneratedPlan", "compile_expr", "generate_code",
     "DEFAULT_FUNCTIONS", "prefix", "register_function",
     "Executor", "PhysicalConfig",
+    "EnvBatch", "VectorizedExecutor", "eval_column",
     "Histogram", "KeyStats", "build_histogram", "collect_key_stats",
     "zipf_skew_estimate",
     "self_theta_join", "theta_join_cartesian", "theta_join_matrix",

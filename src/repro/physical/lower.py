@@ -51,10 +51,18 @@ class PhysicalConfig:
     ``grouping``: ``"aggregate"`` (CleanDB local pre-aggregation), ``"sort"``
     (Spark SQL), or ``"hash"`` (BigDansing).
     ``theta``: ``"matrix"`` (CleanDB) or ``"cartesian"`` (Spark SQL).
+    ``execution``: ``"row"`` (per-row environment dictionaries) or
+    ``"vectorized"`` (column batches; see ``repro.physical.vectorized``).
+    The vectorized backend claims every supported subtree and falls back to
+    the row path above unsupported operators, so results are identical
+    either way.  ``batch_size`` is the vectorized backend's rows-per-batch
+    dispatch granularity (cost-accounting only).
     """
 
     grouping: str = "aggregate"
     theta: str = "matrix"
+    execution: str = "row"
+    batch_size: int = 1024
 
 
 class Executor:
@@ -78,12 +86,33 @@ class Executor:
         if functions:
             self.functions.update(functions)
         self._scan_cache: dict[tuple[str, str], Dataset] = {}
+        self._vectorized = None
 
     # ------------------------------------------------------------------ #
     def execute(self, op: AlgebraOp) -> Any:
         """Run a plan.  Collection results are Datasets; a Reduce with a
         primitive monoid returns its folded scalar; a SharedScanDAG returns
-        ``{branch_name: result}``."""
+        ``{branch_name: result}``.
+
+        With ``config.execution == "vectorized"``, any subtree the columnar
+        backend supports runs batch-at-a-time; unsupported roots fall back
+        to the row path here (their supported children still vectorize,
+        since the row operators recurse through this method).
+        """
+        if self.config.execution == "vectorized":
+            vectorized = self._vectorized_executor()
+            if vectorized.supports(op):
+                return vectorized.run(op)
+        return self._execute_row(op)
+
+    def _vectorized_executor(self):
+        if self._vectorized is None:
+            from .vectorized import VectorizedExecutor
+
+            self._vectorized = VectorizedExecutor(self)
+        return self._vectorized
+
+    def _execute_row(self, op: AlgebraOp) -> Any:
         if isinstance(op, Scan):
             return self._scan(op)
         if isinstance(op, Select):

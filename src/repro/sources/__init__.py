@@ -1,7 +1,15 @@
 """Heterogeneous data sources: CSV, JSON, XML, and a binary columnar format."""
 
 from .catalog import FORMATS, Catalog, SourceEntry, write_records
-from .columnar import file_size, read_columnar, write_columnar
+from .columnar import (
+    Column,
+    ColumnBatch,
+    batch_partitions,
+    file_size,
+    read_columnar,
+    read_columnar_batch,
+    write_columnar,
+)
 from .csv_source import read_csv, write_csv
 from .json_source import read_json, write_json
 from .schema import Field, Schema, flatten_records, nest_records
@@ -9,7 +17,8 @@ from .xml_source import read_xml, write_xml
 
 __all__ = [
     "FORMATS", "Catalog", "SourceEntry", "write_records",
-    "file_size", "read_columnar", "write_columnar",
+    "Column", "ColumnBatch", "batch_partitions",
+    "file_size", "read_columnar", "read_columnar_batch", "write_columnar",
     "read_csv", "write_csv",
     "read_json", "write_json",
     "Field", "Schema", "flatten_records", "nest_records",

@@ -73,5 +73,5 @@ class TestMetricsCollector:
         summary = mc.summary()
         assert set(summary) == {
             "simulated_time", "shuffled_records", "total_work",
-            "comparisons", "num_ops",
+            "comparisons", "num_ops", "batches",
         }

@@ -1,0 +1,150 @@
+"""Unit tests for the ColumnBatch representation and the direct batch reader."""
+
+from array import array
+
+import pytest
+
+from repro.errors import DataSourceError
+from repro.sources import (
+    ColumnBatch,
+    Field,
+    Schema,
+    batch_partitions,
+    read_columnar_batch,
+    write_columnar,
+)
+
+ROWS = [
+    {"id": i, "name": f"n{i}", "score": float(i) / 2, "flag": i % 2 == 0}
+    for i in range(10)
+]
+SCHEMA = Schema(
+    (Field("id", "int"), Field("name", "str"), Field("score", "float"), Field("flag", "bool"))
+)
+
+
+class TestConstruction:
+    def test_round_trip(self):
+        batch = ColumnBatch.from_records(ROWS)
+        assert batch is not None
+        assert len(batch) == 10
+        assert batch.to_records() == ROWS
+
+    def test_field_order_preserved(self):
+        batch = ColumnBatch.from_records(ROWS)
+        assert batch.names == ["id", "name", "score", "flag"]
+        assert list(batch.to_records()[0]) == ["id", "name", "score", "flag"]
+
+    def test_numeric_columns_packed(self):
+        batch = ColumnBatch.from_records(ROWS)
+        assert isinstance(batch.columns["id"].values, array)
+        assert isinstance(batch.columns["score"].values, array)
+        assert isinstance(batch.columns["name"].values, list)
+
+    def test_nullable_columns_stay_lists(self):
+        rows = [{"a": 1}, {"a": None}, {"a": 3}]
+        batch = ColumnBatch.from_records(rows)
+        assert isinstance(batch.columns["a"].values, list)
+        assert batch.column("a") == [1, None, 3]
+
+    def test_non_uniform_rejected(self):
+        assert ColumnBatch.from_records([{"a": 1}, {"b": 2}]) is None
+        assert ColumnBatch.from_records([{"a": 1}, "nope"]) is None
+
+    def test_empty(self):
+        batch = ColumnBatch.from_records([], SCHEMA)
+        assert batch is not None and len(batch) == 0
+        assert batch.to_records() == []
+
+
+class TestSelectionVectors:
+    def test_filter_composes_without_copy(self):
+        batch = ColumnBatch.from_records(ROWS)
+        evens = batch.filter([r["flag"] for r in ROWS])
+        assert len(evens) == 5
+        # Underlying columns are shared, only the selection changed.
+        assert evens.columns is batch.columns
+        first = evens.filter([i < 2 for i in range(5)])
+        assert first.column("id") == [0, 2]
+
+    def test_select_reorders(self):
+        batch = ColumnBatch.from_records(ROWS)
+        picked = batch.select([3, 1, 1])
+        assert picked.column("id") == [3, 1, 1]
+
+    def test_compact_materializes(self):
+        batch = ColumnBatch.from_records(ROWS).filter(
+            [r["id"] > 6 for r in ROWS]
+        )
+        dense = batch.compact()
+        assert dense.selection is None
+        assert dense.column("id") == [7, 8, 9]
+
+    def test_row_respects_selection(self):
+        batch = ColumnBatch.from_records(ROWS).select([4])
+        assert batch.row(0)["id"] == 4
+
+
+class TestCombinators:
+    def test_project(self):
+        batch = ColumnBatch.from_records(ROWS).project(["id", "flag"])
+        assert batch.names == ["id", "flag"]
+        assert set(batch.to_records()[0]) == {"id", "flag"}
+
+    def test_with_column(self):
+        batch = ColumnBatch.from_records(ROWS)
+        doubled = batch.with_column("double", [r["id"] * 2 for r in ROWS])
+        assert doubled.column("double")[3] == 6
+
+    def test_with_column_length_mismatch(self):
+        batch = ColumnBatch.from_records(ROWS)
+        with pytest.raises(DataSourceError):
+            batch.with_column("bad", [1, 2])
+
+    def test_concat(self):
+        a = ColumnBatch.from_records(ROWS[:4])
+        b = ColumnBatch.from_records(ROWS[4:])
+        merged = ColumnBatch.concat([a, b])
+        assert merged.to_records() == ROWS
+
+    def test_missing_column(self):
+        batch = ColumnBatch.from_records(ROWS)
+        with pytest.raises(DataSourceError):
+            batch.column("nope")
+
+
+class TestBatchPartitions:
+    def test_round_robin_matches_engine_placement(self):
+        batches = batch_partitions(ROWS, 4)
+        assert batches is not None and len(batches) == 4
+        assert batches[0].column("id") == [0, 4, 8]
+        assert batches[3].column("id") == [3, 7]
+
+    def test_non_uniform_returns_none(self):
+        assert batch_partitions([{"a": 1}, {"b": 2}], 2) is None
+
+    def test_caps_partitions_at_rows(self):
+        batches = batch_partitions(ROWS[:2], 8)
+        assert batches is not None and len(batches) == 2
+
+
+class TestBatchReader:
+    def test_read_columnar_batch_round_trip(self, tmp_path):
+        path = tmp_path / "t.rcol"
+        write_columnar(path, ROWS, SCHEMA)
+        batch, schema = read_columnar_batch(path)
+        assert schema == SCHEMA
+        assert batch.to_records() == ROWS
+        assert isinstance(batch.columns["id"].values, array)
+
+    def test_read_columnar_batch_nested(self, tmp_path):
+        rows = [{"k": i, "tags": [f"t{j}" for j in range(i)]} for i in range(5)]
+        schema = Schema((Field("k", "int"), Field("tags", "list")))
+        path = tmp_path / "nested.rcol"
+        write_columnar(path, rows, schema)
+        batch, _ = read_columnar_batch(path)
+        assert batch.column("tags") == [r["tags"] for r in rows]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataSourceError):
+            read_columnar_batch(tmp_path / "absent.rcol")

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Validate documentation: every ```python code block must be valid syntax.
+
+Usage: python tools/check_docs.py README.md docs/*.md
+
+Exits non-zero listing each file/line whose fenced Python block fails to
+compile.  Only ``python`` fences are checked; plain, bash, and text fences
+are ignored.  Run by the CI ``docs`` job.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+
+def python_blocks(text: str) -> list[tuple[int, str]]:
+    """Extract (start_line, source) for every ```python fenced block."""
+    blocks: list[tuple[int, str]] = []
+    lines = text.splitlines()
+    in_block = False
+    start = 0
+    buffer: list[str] = []
+    for i, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not in_block and stripped.lower().startswith("```python"):
+            in_block = True
+            start = i + 1
+            buffer = []
+        elif in_block and stripped.startswith("```"):
+            in_block = False
+            blocks.append((start, "\n".join(buffer)))
+        elif in_block:
+            buffer.append(line)
+    if in_block:
+        # An unterminated fence still gets checked — silently dropping it
+        # would hide exactly the broken block this tool exists to catch.
+        blocks.append((start, "\n".join(buffer)))
+    return blocks
+
+
+def main(paths: list[str]) -> int:
+    if not paths:
+        print("usage: check_docs.py FILE [FILE ...]", file=sys.stderr)
+        return 2
+    failures = 0
+    checked = 0
+    for path_str in paths:
+        path = Path(path_str)
+        if not path.exists():
+            print(f"MISSING {path}", file=sys.stderr)
+            failures += 1
+            continue
+        for start, source in python_blocks(path.read_text(encoding="utf-8")):
+            checked += 1
+            try:
+                compile(source, f"{path}:{start}", "exec")
+            except SyntaxError as exc:
+                failures += 1
+                print(
+                    f"SYNTAX ERROR in {path} block at line {start}: {exc}",
+                    file=sys.stderr,
+                )
+    print(f"checked {checked} python block(s) in {len(paths)} file(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
