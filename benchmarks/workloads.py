@@ -19,6 +19,10 @@ from repro.datasets import (
 SCALE_FACTORS = (15, 30, 45, 60, 70)
 NUM_NODES = 10
 
+# Worker processes for the "exec backend: parallel" tables.  Two is enough
+# to prove real multi-process execution on the small CI runners.
+PARALLEL_WORKERS = 2
+
 # Budget for the "fails to terminate" experiments (Table 5 / Fig. 8b):
 # comfortably above CleanDB's worst completed run, far below the baselines'.
 DC_BUDGET = 55_000.0

@@ -1,9 +1,10 @@
 """Package definition for the CleanM/CleanDB reproduction.
 
 The library is pure Python with no runtime dependencies; the test and
-benchmark suites need ``pytest`` and ``pytest-benchmark`` (the ``test``
-extra).  Installing exposes the ``repro`` console command
-(``repro query --execution vectorized ...``; see README.md).
+benchmark suites need ``pytest``, ``pytest-benchmark``, ``pytest-cov``, and
+``hypothesis`` (the ``test`` extra).  Installing exposes the ``repro``
+console command (``repro query --execution parallel --workers 4 ...``; see
+README.md).
 """
 
 from pathlib import Path
@@ -28,7 +29,12 @@ setup(
     python_requires=">=3.10",
     install_requires=[],  # pure stdlib by design; see ROADMAP.md
     extras_require={
-        "test": ["pytest>=7", "pytest-benchmark>=4"],
+        "test": [
+            "pytest>=7",
+            "pytest-benchmark>=4",
+            "pytest-cov>=4",
+            "hypothesis>=6",
+        ],
     },
     entry_points={
         "console_scripts": [

@@ -31,12 +31,13 @@ import math
 import time
 from typing import Any, Callable, Sequence
 
-from ..cleaning.dedup import deduplicate, deduplicate_columnar
+from ..cleaning.dedup import deduplicate, deduplicate_columnar, deduplicate_parallel
 from ..cleaning.denial import (
     DenialConstraint,
     check_dc,
     check_fd,
     check_fd_columnar,
+    check_fd_parallel,
 )
 from ..cleaning.similarity import get_metric
 from ..cleaning.term_validation import validate_terms
@@ -44,6 +45,7 @@ from ..engine.cluster import Cluster
 from ..engine.metrics import CostModel
 from ..errors import BudgetExceededError, UnsupportedOperationError
 from ..evaluation.runner import RunResult
+from ..physical.lower import EXECUTION_BACKENDS
 
 
 class System:
@@ -51,9 +53,11 @@ class System:
 
     ``execution`` selects the physical representation: ``"row"`` streams
     per-record environments, ``"vectorized"`` runs the column-batch fast
-    paths (FD checks and exact-key dedup) where they apply.  Only CleanDB
-    exercises the vectorized backend in the benchmarks; the baselines model
-    systems without one.
+    paths (FD checks and exact-key dedup) where they apply, and
+    ``"parallel"`` runs the same row logic over a real multi-process worker
+    pool (``workers`` processes, clamped to ``num_nodes``).  Only CleanDB
+    exercises the non-row backends in the benchmarks; the baselines model
+    systems without them.
     """
 
     name = "system"
@@ -66,21 +70,25 @@ class System:
         budget: float = math.inf,
         cost_model: CostModel | None = None,
         execution: str = "row",
+        workers: int | None = None,
     ):
-        if execution not in ("row", "vectorized"):
+        if execution not in EXECUTION_BACKENDS:
+            expected = ", ".join(repr(b) for b in EXECUTION_BACKENDS)
             raise ValueError(
-                f"unknown execution backend {execution!r}; expected 'row' or 'vectorized'"
+                f"unknown execution backend {execution!r}; expected one of {expected}"
             )
         self.num_nodes = num_nodes
         self.budget = budget
         self.cost_model = cost_model or CostModel()
         self.execution = execution
+        self.workers = workers
 
     def new_cluster(self) -> Cluster:
         return Cluster(
             num_nodes=self.num_nodes,
             cost_model=self.cost_model,
             budget=self.budget,
+            workers=self.workers if self.execution == "parallel" else None,
         )
 
     def _run(self, action: Callable[[Cluster], Any]) -> RunResult:
@@ -96,6 +104,9 @@ class System:
         except UnsupportedOperationError:
             count = 0
             status = "unsupported"
+        finally:
+            # Never leak worker processes, whatever the outcome.
+            cluster.shutdown()
         wall = time.perf_counter() - start
         return RunResult(
             system=self.name,
@@ -122,10 +133,15 @@ class System:
         fmt: str = "memory",
     ) -> RunResult:
         def action(cluster: Cluster) -> list:
-            if self.execution == "vectorized" and self.grouping == "aggregate":
-                return check_fd_columnar(
-                    cluster, records, list(lhs), list(rhs), fmt=fmt
-                ).collect()
+            if self.grouping == "aggregate":
+                if self.execution == "vectorized":
+                    return check_fd_columnar(
+                        cluster, records, list(lhs), list(rhs), fmt=fmt
+                    ).collect()
+                if self.execution == "parallel":
+                    return check_fd_parallel(
+                        cluster, records, list(lhs), list(rhs), fmt=fmt
+                    ).collect()
             ds = cluster.parallelize(records, fmt=fmt, name="lineitem")
             return check_fd(ds, list(lhs), list(rhs), grouping=self.grouping).collect()
 
@@ -153,16 +169,27 @@ class System:
         fmt: str = "memory",
     ) -> RunResult:
         def action(cluster: Cluster) -> list:
-            if self.execution == "vectorized" and self.grouping == "aggregate":
-                return deduplicate_columnar(
-                    cluster,
-                    records,
-                    list(attributes),
-                    metric=metric,
-                    theta=theta,
-                    block_on=block_on,
-                    fmt=fmt,
-                ).collect()
+            if self.grouping == "aggregate":
+                if self.execution == "vectorized":
+                    return deduplicate_columnar(
+                        cluster,
+                        records,
+                        list(attributes),
+                        metric=metric,
+                        theta=theta,
+                        block_on=block_on,
+                        fmt=fmt,
+                    ).collect()
+                if self.execution == "parallel":
+                    return deduplicate_parallel(
+                        cluster,
+                        records,
+                        list(attributes),
+                        metric=metric,
+                        theta=theta,
+                        block_on=block_on,
+                        fmt=fmt,
+                    ).collect()
             ds = cluster.parallelize(records, fmt=fmt, name="input")
             return deduplicate(
                 ds,

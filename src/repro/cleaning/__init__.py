@@ -14,6 +14,7 @@ from .dedup import (
     DuplicatePair,
     deduplicate,
     deduplicate_columnar,
+    deduplicate_parallel,
     ensure_rids,
     pairwise_within_blocks,
 )
@@ -36,6 +37,7 @@ from .denial import (
     check_dc,
     check_fd,
     check_fd_columnar,
+    check_fd_parallel,
 )
 from .kmeans import (
     assign_to_centers,
@@ -72,10 +74,11 @@ from .transform import (
 
 __all__ = [
     "key_blocks", "kmeans_blocks", "length_blocks", "make_blocks", "token_blocks",
-    "DuplicatePair", "deduplicate", "deduplicate_columnar", "ensure_rids",
+    "DuplicatePair", "deduplicate", "deduplicate_columnar",
+    "deduplicate_parallel", "ensure_rids",
     "pairwise_within_blocks",
     "DenialConstraint", "FDViolation", "SingleFilter", "TuplePredicate",
-    "check_dc", "check_fd", "check_fd_columnar",
+    "check_dc", "check_fd", "check_fd_columnar", "check_fd_parallel",
     "DomainRule", "DomainViolation", "InRange", "InSet", "Matches", "NotNull",
     "Satisfies", "check_domains", "violation_summary",
     "assign_to_centers", "fixed_step_centers", "hierarchical_cluster",

@@ -20,8 +20,10 @@ from typing import Any, Callable, Sequence
 
 from ..engine.cluster import Cluster
 from ..engine.dataset import Dataset
+from ..engine.parallel import is_picklable
 from ..engine.partitioner import stable_hash
-from ..sources.columnar import batch_partitions
+from ..engine.shuffle import exchange
+from ..sources.columnar import batch_partitions, round_robin_split
 from .blocking import key_blocks, make_blocks
 from .similarity import get_metric
 
@@ -171,6 +173,180 @@ def _block_key_func(block_on: BlockSpec) -> Callable[[dict], Any]:
         return lambda r, _a=block_on: r.get(_a)
     attrs = list(block_on or ())
     return lambda r, _attrs=attrs: tuple(r.get(a) for a in _attrs)
+
+
+def _dedup_block_task(
+    records: list[dict], block_on: BlockSpec, attributes: list[str]
+) -> list[tuple[Any, list[dict]]]:
+    """Worker task: exact-key blocking of one partition (map-side combine).
+
+    Groups in first-seen key order with records in partition order — the
+    same local state ``key_blocks``'s ``aggregate_by_key`` builds.
+    """
+    if block_on is None:
+        # Default blocking stringifies the comparison attributes, matching
+        # the row path's ``str(r.get(a, ""))`` key function.
+        key_func = lambda r: tuple(str(r.get(a, "")) for a in attributes)  # noqa: E731
+    else:
+        key_func = _block_key_func(block_on)
+    groups: dict[Any, list[dict]] = {}
+    for record in records:
+        groups.setdefault(key_func(record), []).append(record)
+    return list(groups.items())
+
+
+def _dedup_pairs_task(
+    part: list[tuple[Any, list[dict]]],
+    attributes: list[str],
+    metric: str,
+    theta: float,
+    compare_unit: float,
+) -> tuple[list[DuplicatePair], int, float]:
+    """Worker task: merge shuffled blocks, then all-pairs similarity.
+
+    Mirrors ``pairwise_within_blocks`` record-for-record; with exact-key
+    blocking every unordered pair lives inside exactly one block (each
+    record has one key), so the partition-local ``seen`` set is equivalent
+    to the row path's global one.  Returns (pairs, comparisons, work).
+    """
+    merged: dict[Any, list[dict]] = {}
+    for key, records in part:
+        existing = merged.get(key)
+        if existing is None:
+            merged[key] = records
+        else:
+            existing.extend(records)
+    sim = get_metric(metric)
+    out: list[DuplicatePair] = []
+    comparisons = 0
+    work = 0.0
+    seen: set[tuple[int, int]] = set()
+    for members in merged.values():
+        for i in range(len(members)):
+            for j in range(i + 1, len(members)):
+                a, b = members[i], members[j]
+                rid_a, rid_b = a.get(RID, i), b.get(RID, j)
+                if rid_a == rid_b:
+                    continue
+                pair_key = (min(rid_a, rid_b), max(rid_a, rid_b))
+                if pair_key in seen:
+                    continue
+                seen.add(pair_key)
+                comparisons += 1
+                total = 0.0
+                for attr in attributes:
+                    sa, sb = str(a.get(attr, "")), str(b.get(attr, ""))
+                    work += (len(sa) + len(sb)) * compare_unit
+                    total += sim(sa, sb)
+                if total / len(attributes) >= theta:
+                    if rid_a <= rid_b:
+                        out.append(DuplicatePair(rid_a, rid_b, a, b))
+                    else:
+                        out.append(DuplicatePair(rid_b, rid_a, b, a))
+    return out, comparisons, work
+
+
+def deduplicate_parallel(
+    cluster: Cluster,
+    records: Sequence[dict],
+    attributes: Sequence[str],
+    metric: str = "LD",
+    theta: float = 0.8,
+    block_on: BlockSpec = None,
+    fmt: str = "memory",
+) -> Dataset:
+    """Multi-process exact-key deduplication over real worker processes.
+
+    The blocking combine runs as one task per round-robin partition, blocks
+    travel through the real hash exchange, and the CPU-heavy pairwise
+    similarity phase runs as one task per merged partition — this is where
+    multiple processes genuinely pay off, since string similarity dominates
+    the workload.  Output is **byte-identical** — same pairs, same order —
+    to :func:`deduplicate` with the same exact-key ``block_on`` over
+    ``cluster.parallelize(records, ...)``.
+
+    Falls back to the serial row path when the blocking spec or records
+    cannot cross a process boundary (lambdas, unpicklable rows).
+    """
+    if not attributes:
+        raise ValueError("deduplicate needs at least one comparison attribute")
+    records = records if isinstance(records, list) else list(records)
+    # Full-list check, not a sample: a late unpicklable record must take the
+    # documented fallback, never surface as a raw pickling error.
+    shippable = is_picklable(block_on) and is_picklable(records)
+    if not shippable:
+        ds = cluster.parallelize(records, fmt=fmt, name="input")
+        return deduplicate(
+            ds, list(attributes), metric=metric, theta=theta, block_on=block_on
+        )
+
+    n = cluster.default_parallelism
+    unit = cluster.cost_model.record_unit
+    parts = round_robin_split(records, n)
+    scan_unit = cluster.cost_model.scan_unit(fmt)
+    cluster.record_op(
+        "scan:input:par",
+        cluster.spread_over_nodes([len(p) * (unit + scan_unit) for p in parts]),
+    )
+
+    # Stable ids if the source has none: partition-major sequential numbering,
+    # exactly what ``ensure_rids``'s zip_with_index produces after the same
+    # round-robin placement.
+    has_rids = bool(records) and isinstance(records[0], dict) and RID in records[0]
+    if not has_rids:
+        next_rid = 0
+        numbered: list[list[dict]] = []
+        for part in parts:
+            numbered.append(
+                [{**r, RID: next_rid + i} for i, r in enumerate(part)]
+            )
+            next_rid += len(part)
+        parts = numbered
+        cluster.record_op(
+            "dedup:assignRid:par",
+            cluster.spread_over_nodes([len(p) * unit for p in parts]),
+        )
+
+    pool = cluster.pool
+    block_spec = block_on
+    blocked = pool.run(
+        _dedup_block_task,
+        [(part, block_spec, list(attributes)) for part in parts],
+    )
+    cluster.record_op(
+        "grouping:key:parCombine",
+        cluster.spread_over_nodes([len(p) * unit for p in parts]),
+        wall_seconds=pool.last_wall_seconds,
+    )
+
+    wall_start = pool.wall_seconds_total
+    exchanged, moved, cost = exchange(cluster, blocked, n, kind="local", pool=pool)
+    cluster.record_op(
+        "grouping:key:parMerge",
+        cluster.spread_over_nodes(
+            [sum(len(recs) for _, recs in p) * unit for p in exchanged]
+        ),
+        shuffled_records=moved,
+        shuffle_cost=cost,
+        wall_seconds=pool.wall_seconds_total - wall_start,
+    )
+
+    compare_unit = cluster.cost_model.compare_unit
+    results = pool.run(
+        _dedup_pairs_task,
+        [
+            (part, list(attributes), metric, theta, compare_unit)
+            for part in exchanged
+        ],
+    )
+    out_parts = [pairs for pairs, _, _ in results]
+    cluster.charge_comparisons(sum(comparisons for _, comparisons, _ in results))
+    cluster.record_op(
+        "similarity:dedup",
+        cluster.spread_over_nodes([work for _, _, work in results]),
+        wall_seconds=pool.last_wall_seconds,
+    )
+    return Dataset(cluster, out_parts, op="dedup:parallel")
 
 
 def deduplicate_columnar(

@@ -19,9 +19,11 @@ from typing import Any, Callable, Sequence
 
 from ..engine.cluster import Cluster
 from ..engine.dataset import Dataset
+from ..engine.parallel import is_picklable
 from ..engine.partitioner import stable_hash
+from ..engine.shuffle import exchange
 from ..physical.theta_join import self_theta_join
-from ..sources.columnar import ColumnBatch, batch_partitions
+from ..sources.columnar import ColumnBatch, batch_partitions, round_robin_split
 
 AttrSpec = str | Callable[[dict], Any]
 
@@ -214,6 +216,123 @@ def check_fd_columnar(
     return Dataset(cluster, out_parts, op="fd:vectorized")
 
 
+def _fd_combine_task(
+    records: list[dict],
+    lhs: list[AttrSpec],
+    rhs: list[AttrSpec],
+    keep_records: bool,
+) -> list[tuple[Any, tuple[dict, list]]]:
+    """Worker task: the map-side combine of ``check_fd(grouping="aggregate")``.
+
+    One combiner per key, in first-seen order; the (distinct-RHS dict,
+    witness list) state and its update order mirror the row path's
+    ``seq`` exactly so downstream output is byte-identical.
+    """
+    lhs_func = _key_func(lhs)
+    rhs_func = _key_func(rhs)
+    combiners: dict[Any, tuple[dict, list]] = {}
+    for record in records:
+        key = lhs_func(record)
+        state = combiners.get(key)
+        if state is None:
+            state = ({}, [])
+            combiners[key] = state
+        rhs_seen, witnesses = state
+        rhs_value = rhs_func(record)
+        if rhs_value not in rhs_seen:
+            rhs_seen[rhs_value] = None
+            if keep_records:
+                witnesses.append(record)
+    return list(combiners.items())
+
+
+def _fd_merge_task(
+    part: list[tuple[Any, tuple[dict, list]]], keep_records: bool
+) -> list[FDViolation]:
+    """Worker task: merge shuffled combiners and emit this partition's
+    violations, mirroring the row path's ``comb`` + ``to_violation``."""
+    merged: dict[Any, tuple[dict, list]] = {}
+    for key, (rhs_seen_b, witnesses_b) in part:
+        state = merged.get(key)
+        if state is None:
+            merged[key] = (rhs_seen_b, witnesses_b)
+            continue
+        rhs_seen, witnesses = state
+        for rhs_value in rhs_seen_b:
+            if rhs_value not in rhs_seen:
+                rhs_seen[rhs_value] = None
+        if keep_records:
+            witnesses.extend(witnesses_b)
+    out: list[FDViolation] = []
+    for key, (rhs_seen, witnesses) in merged.items():
+        if len(rhs_seen) > 1:
+            out.append(FDViolation(key, tuple(rhs_seen), tuple(witnesses)))
+    return out
+
+
+def check_fd_parallel(
+    cluster: Cluster,
+    records: Sequence[dict],
+    lhs: Sequence[AttrSpec],
+    rhs: Sequence[AttrSpec],
+    fmt: str = "memory",
+    keep_records: bool = True,
+) -> Dataset:
+    """Multi-process FD check: :func:`check_fd` over real worker processes.
+
+    Partitions are laid out exactly like the row path's ``parallelize``
+    (round-robin), the per-partition combine runs as worker-pool tasks, the
+    combiners go through the real hash exchange, and the reduce-side merge +
+    violation emit runs as worker tasks per target partition.  Output is
+    **byte-identical** — same violations, same order — to
+    ``check_fd(cluster.parallelize(records, ...), lhs, rhs)``; the metrics
+    additionally carry the measured pool wall-clock.
+
+    Falls back to the serial row path when the attribute specs or records
+    cannot cross a process boundary (e.g. lambda specs).
+    """
+    records = records if isinstance(records, list) else list(records)
+    lhs, rhs = list(lhs), list(rhs)
+    # The whole record list is checked (not a sample): the pool would pickle
+    # every partition anyway, and a late unpicklable record must take the
+    # documented fallback, never surface as a raw pickling error.
+    shippable = is_picklable((tuple(lhs), tuple(rhs))) and is_picklable(records)
+    if not shippable:
+        ds = cluster.parallelize(records, fmt=fmt, name="lineitem")
+        return check_fd(ds, lhs, rhs, keep_records=keep_records)
+
+    n = cluster.default_parallelism
+    unit = cluster.cost_model.record_unit
+    parts = round_robin_split(records, n)
+    scan_unit = cluster.cost_model.scan_unit(fmt)
+    cluster.record_op(
+        "scan:lineitem:par",
+        cluster.spread_over_nodes([len(p) * (unit + scan_unit) for p in parts]),
+    )
+
+    pool = cluster.pool
+    combined = pool.run(
+        _fd_combine_task, [(part, lhs, rhs, keep_records) for part in parts]
+    )
+    cluster.record_op(
+        "fd:parCombine",
+        cluster.spread_over_nodes([len(p) * unit for p in parts]),
+        wall_seconds=pool.last_wall_seconds,
+    )
+
+    wall_start = pool.wall_seconds_total
+    exchanged, moved, cost = exchange(cluster, combined, n, kind="local", pool=pool)
+    out_parts = pool.run(_fd_merge_task, [(part, keep_records) for part in exchanged])
+    cluster.record_op(
+        "fd:parMerge",
+        cluster.spread_over_nodes([len(p) * unit for p in exchanged]),
+        shuffled_records=moved,
+        shuffle_cost=cost,
+        wall_seconds=pool.wall_seconds_total - wall_start,
+    )
+    return Dataset(cluster, out_parts, op="fd:parallel")
+
+
 def _spec_column(batch: ColumnBatch, specs: Sequence[AttrSpec]) -> list[Any]:
     """Evaluate attribute specs column-at-a-time over one batch.
 
@@ -361,6 +480,7 @@ __all__ = [
     "FDViolation",
     "check_fd",
     "check_fd_columnar",
+    "check_fd_parallel",
     "TuplePredicate",
     "SingleFilter",
     "DenialConstraint",

@@ -98,9 +98,22 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--budget", type=float, default=None, help="execution budget")
         p.add_argument(
             "--execution",
-            choices=("row", "vectorized"),
+            choices=("row", "vectorized", "parallel"),
             default="row",
-            help="physical backend: per-row environments or column batches",
+            help=(
+                "physical backend: per-row environments, column batches, or "
+                "real multi-process workers"
+            ),
+        )
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            metavar="N",
+            help=(
+                "worker processes for --execution parallel "
+                "(clamped to --nodes; default: a small pool)"
+            ),
         )
         p.add_argument("--no-coalesce", action="store_true", help="disable §5 rewrites")
         p.add_argument("--metrics", action="store_true", help="print execution metrics")
@@ -127,6 +140,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         num_nodes=args.nodes,
         budget=args.budget if args.budget is not None else math.inf,
         execution=args.execution,
+        workers=args.workers,
         coalesce=not args.no_coalesce,
     )
     try:
@@ -138,6 +152,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     except (ReproError, ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        db.close()
 
     for name, rows in result.branches.items():
         _print_branch(name, rows)

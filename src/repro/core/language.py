@@ -25,7 +25,7 @@ from ..engine.metrics import CostModel
 from ..errors import PlanningError, SchemaError
 from ..monoid.comprehension import Comprehension
 from ..monoid.normalize import NormalizationTrace, normalize
-from ..physical.lower import Executor, PhysicalConfig
+from ..physical.lower import EXECUTION_BACKENDS, Executor, PhysicalConfig
 from .ast_nodes import Query
 from .parser import parse
 from .rewriter import Branch, rewrite_query
@@ -90,10 +90,17 @@ class CleanDB:
         Physical strategy knobs; defaults to the CleanDB strategies
         (local pre-aggregation, matrix theta join).
     execution:
-        Physical backend selection: ``"row"`` (per-row environments) or
-        ``"vectorized"`` (column batches with selection vectors; supported
-        subplans run batch-at-a-time, the rest falls back to the row path).
-        Shorthand for passing ``config=PhysicalConfig(execution=...)``.
+        Physical backend selection: ``"row"`` (per-row environments),
+        ``"vectorized"`` (column batches with selection vectors), or
+        ``"parallel"`` (real multi-process execution over a worker pool).
+        Supported subplans run on the chosen backend, the rest falls back
+        to the row path.  Shorthand for passing
+        ``config=PhysicalConfig(execution=...)``.
+    workers:
+        Worker-process count for ``execution="parallel"`` (clamped to
+        ``num_nodes`` with a warning; defaults to a small pool).  Call
+        :meth:`close` — or use the instance as a context manager — to
+        release the pool when done.
     coalesce:
         Enable the §5 operator-coalescing rewrite (on by default; the
         baselines turn it off).
@@ -109,6 +116,7 @@ class CleanDB:
         cost_model: CostModel | None = None,
         config: PhysicalConfig | None = None,
         execution: str | None = None,
+        workers: int | None = None,
         coalesce: bool = True,
         use_codegen: bool = False,
         q: int = 3,
@@ -116,13 +124,16 @@ class CleanDB:
         delta: float = 0.05,
         seed: int = 13,
     ):
-        self.cluster = Cluster(num_nodes=num_nodes, cost_model=cost_model, budget=budget)
+        self.cluster = Cluster(
+            num_nodes=num_nodes, cost_model=cost_model, budget=budget, workers=workers
+        )
         self.config = config or PhysicalConfig()
         if execution is not None:
-            if execution not in ("row", "vectorized"):
+            if execution not in EXECUTION_BACKENDS:
+                expected = ", ".join(repr(b) for b in EXECUTION_BACKENDS)
                 raise PlanningError(
                     f"unknown execution backend {execution!r}; "
-                    "expected 'row' or 'vectorized'"
+                    f"expected one of {expected}"
                 )
             # Copy before overriding: the caller's config object must not
             # change under them (it may be shared across CleanDB instances).
@@ -135,6 +146,22 @@ class CleanDB:
         self.seed = seed
         self._tables: dict[str, list[Any]] = {}
         self._formats: dict[str, str] = {}
+
+    # ------------------------------------------------------------------ #
+    # Resource lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the worker pool (if ``execution="parallel"`` created one).
+
+        Idempotent; the instance remains usable — a later parallel query
+        lazily re-creates the pool."""
+        self.cluster.shutdown()
+
+    def __enter__(self) -> "CleanDB":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Catalog

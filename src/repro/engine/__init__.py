@@ -9,6 +9,7 @@ balancing) the paper's evaluation measures.
 from .cluster import Cluster
 from .dataset import Dataset
 from .metrics import CostModel, MetricsCollector, OpMetrics
+from .parallel import DEFAULT_WORKERS, WorkerPool, WorkerTaskError
 from .partitioner import (
     HashPartitioner,
     Partitioner,
@@ -24,6 +25,9 @@ __all__ = [
     "CostModel",
     "MetricsCollector",
     "OpMetrics",
+    "DEFAULT_WORKERS",
+    "WorkerPool",
+    "WorkerTaskError",
     "Partitioner",
     "HashPartitioner",
     "RangePartitioner",

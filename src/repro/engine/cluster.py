@@ -10,10 +10,12 @@ budget (so that plans which would "not terminate" in the paper raise
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Any, Iterable, Sequence
 
 from ..errors import BudgetExceededError
 from .metrics import CostModel, MetricsCollector, OpMetrics
+from .parallel import DEFAULT_WORKERS, WorkerPool
 
 
 class Cluster:
@@ -31,6 +33,13 @@ class Cluster:
         disables the check.  Exceeding it raises
         :class:`~repro.errors.BudgetExceededError`, modelling the paper's
         "system fails to terminate" outcomes.
+    workers:
+        Real worker *processes* for ``execution="parallel"`` stages.  ``None``
+        (the default) keeps the cluster purely simulated until a pool is
+        requested, at which point :data:`~repro.engine.parallel.
+        DEFAULT_WORKERS` applies.  A value above ``num_nodes`` is clamped
+        with a warning — a pool larger than the simulated cluster would
+        give measured numbers the cost model cannot explain.
     """
 
     def __init__(
@@ -38,13 +47,72 @@ class Cluster:
         num_nodes: int = 10,
         cost_model: CostModel | None = None,
         budget: float = math.inf,
+        workers: int | None = None,
     ):
         if num_nodes <= 0:
             raise ValueError("num_nodes must be positive")
+        if workers is not None:
+            if workers < 1:
+                raise ValueError("workers must be positive")
+            if workers > num_nodes:
+                warnings.warn(
+                    f"workers={workers} exceeds num_nodes={num_nodes}; "
+                    f"clamping the worker pool to {num_nodes}",
+                    stacklevel=2,
+                )
+                workers = num_nodes
         self.num_nodes = num_nodes
         self.cost_model = cost_model or CostModel()
         self.budget = budget
+        self.workers = workers
         self.metrics = MetricsCollector()
+        self._pool: WorkerPool | None = None
+
+    # ------------------------------------------------------------------ #
+    # Worker pool lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def has_pool(self) -> bool:
+        """Whether a live worker pool is currently attached."""
+        return self._pool is not None and not self._pool.closed
+
+    @property
+    def pool(self) -> WorkerPool:
+        """The cluster's worker pool, created lazily on first access.
+
+        Pool size is ``workers`` (already clamped to ``num_nodes``) or the
+        module default when the cluster was built without an explicit count.
+        """
+        if self._pool is None or self._pool.closed:
+            size = self.workers or min(DEFAULT_WORKERS, self.num_nodes)
+            self._pool = WorkerPool(size)
+        return self._pool
+
+    def shutdown(self) -> None:
+        """Terminate the worker pool (if any).  Idempotent; the cluster
+        remains usable for simulated-only execution afterwards."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    def _check_budget(self, name: str) -> None:
+        spent = self.metrics.simulated_time
+        if spent > self.budget:
+            # Abort outstanding parallel work before surfacing the error so
+            # a budget blow-up never leaks worker processes.
+            self.shutdown()
+            raise BudgetExceededError(
+                f"simulated cost {spent:.0f} exceeded budget {self.budget:.0f} "
+                f"during {name!r}",
+                spent=spent,
+                budget=self.budget,
+            )
 
     # ------------------------------------------------------------------ #
     # Accounting
@@ -55,27 +123,24 @@ class Cluster:
         per_node_work: Sequence[float],
         shuffled_records: int = 0,
         shuffle_cost: float = 0.0,
+        wall_seconds: float = 0.0,
     ) -> OpMetrics:
         """Record one operation's metrics and charge its simulated time.
 
-        Raises :class:`BudgetExceededError` if the cumulative simulated time
-        passes the budget.
+        ``wall_seconds`` is the *measured* worker-pool time for parallel
+        stages; it rides along in the metrics but never enters the simulated
+        clock.  Raises :class:`BudgetExceededError` if the cumulative
+        simulated time passes the budget.
         """
         op = OpMetrics(
             name=name,
             per_node_work=list(per_node_work),
             shuffled_records=shuffled_records,
             shuffle_cost=shuffle_cost,
+            wall_seconds=wall_seconds,
         )
         self.metrics.record(op)
-        spent = self.metrics.simulated_time
-        if spent > self.budget:
-            raise BudgetExceededError(
-                f"simulated cost {spent:.0f} exceeded budget {self.budget:.0f} "
-                f"during {name!r}",
-                spent=spent,
-                budget=self.budget,
-            )
+        self._check_budget(name)
         return op
 
     def record_batch_op(
@@ -110,14 +175,7 @@ class Cluster:
             batches=num_batches,
         )
         self.metrics.record(op)
-        spent = self.metrics.simulated_time
-        if spent > self.budget:
-            raise BudgetExceededError(
-                f"simulated cost {spent:.0f} exceeded budget {self.budget:.0f} "
-                f"during {name!r}",
-                spent=spent,
-                budget=self.budget,
-            )
+        self._check_budget(name)
         return op
 
     def record_batch_stage(

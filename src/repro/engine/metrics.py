@@ -111,6 +111,10 @@ class OpMetrics:
 
     ``batches`` is non-zero only for vectorized stages; it counts the column
     batches the stage dispatched over (0 means a row-at-a-time stage).
+    ``wall_seconds`` is non-zero only for stages that ran on the real worker
+    pool (``execution="parallel"``): the *measured* time the stage spent in
+    multi-process dispatch, reported alongside — never mixed into — the
+    simulated cost.
     """
 
     name: str
@@ -118,6 +122,7 @@ class OpMetrics:
     shuffled_records: int = 0
     shuffle_cost: float = 0.0
     batches: int = 0
+    wall_seconds: float = 0.0
 
     @property
     def max_node_work(self) -> float:
@@ -170,6 +175,14 @@ class MetricsCollector:
         """Column batches dispatched by vectorized stages (0 on row plans)."""
         return sum(op.batches for op in self.ops)
 
+    @property
+    def measured_time(self) -> float:
+        """Real wall-clock seconds spent in worker-pool dispatch (0.0 on
+        simulated-only plans).  The measured counterpart of
+        :attr:`simulated_time` — the two are reported side by side, never
+        summed."""
+        return sum(op.wall_seconds for op in self.ops)
+
     def phase_time(self, name_prefix: str) -> float:
         """Simulated time of all ops whose name starts with ``name_prefix``.
 
@@ -188,6 +201,7 @@ class MetricsCollector:
         """A compact dictionary summary, convenient for reports and tests."""
         return {
             "simulated_time": self.simulated_time,
+            "measured_time": self.measured_time,
             "shuffled_records": float(self.shuffled_records),
             "total_work": self.total_work,
             "comparisons": float(self.comparisons),

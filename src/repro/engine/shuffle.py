@@ -1,8 +1,8 @@
 """The shuffle layer: redistributes keyed records across partitions.
 
-All wide dependencies in the engine funnel through :func:`shuffle`, which is
-where records cross simulated node boundaries and where the shuffle cost of
-each strategy is computed:
+All wide dependencies in the engine funnel through :func:`exchange`, which is
+where records cross node boundaries and where the shuffle cost of each
+strategy is computed:
 
 * ``"hash"``  — hash partitioning, charged at the hash-shuffle factor
   (models BigDansing's hash-based shuffle, §8.3);
@@ -11,6 +11,14 @@ each strategy is computed:
 * ``"local"`` — hash partitioning of *pre-aggregated combiners*; the caller
   has already shrunk the data map-side, so far fewer records move (models
   CleanDB's ``aggregateByKey``).
+
+:func:`shuffle` is the serial entry point the simulated :class:`~repro.
+engine.dataset.Dataset` operators use.  :func:`exchange` generalizes it into
+a *real* exchange: given a :class:`~repro.engine.parallel.WorkerPool`, the
+map-side routing of each input partition runs in a worker process, and the
+driver only merges the routed buckets.  Both paths produce byte-identical
+output: target partition *p* receives input partition *i*'s records before
+partition *i+1*'s, each in original order.
 """
 
 from __future__ import annotations
@@ -19,7 +27,8 @@ import math
 from typing import Any, Callable
 
 from .cluster import Cluster
-from .partitioner import make_partitioner
+from .parallel import WorkerPool
+from .partitioner import Partitioner, make_partitioner
 
 KeyedRecord = tuple[Any, Any]
 
@@ -40,31 +49,95 @@ def shuffle(
     responsible for recording the op metrics (it usually folds in reduce-side
     work first).
     """
+    return exchange(cluster, partitions, num_partitions, kind=kind, op_name=op_name)
+
+
+def exchange(
+    cluster: Cluster,
+    partitions: list[list[KeyedRecord]],
+    num_partitions: int,
+    kind: str = "hash",
+    pool: WorkerPool | None = None,
+    op_name: str = "exchange",
+) -> tuple[list[list[KeyedRecord]], int, float]:
+    """A real hash-/range-partitioned exchange of keyed records.
+
+    Map side: every input partition is routed into per-target buckets by the
+    strategy's partitioner — in worker processes when ``pool`` is given,
+    inline otherwise.  Reduce side: the driver concatenates each target's
+    buckets in input-partition order, preserving intra-partition order, so
+    the result is deterministic and independent of how routing was executed.
+
+    Returns ``(new_partitions, records_moved, shuffle_cost)`` exactly like
+    :func:`shuffle`; the two are interchangeable.
+    """
     total = sum(len(p) for p in partitions)
-    if kind == "sort":
-        sample = _sample_keys(partitions, _RANGE_SAMPLE_SIZE)
-        partitioner = make_partitioner("range", num_partitions, sample)
-        factor = cluster.cost_model.sort_shuffle_factor
-    elif kind == "hash":
-        partitioner = make_partitioner("hash", num_partitions)
-        factor = cluster.cost_model.hash_shuffle_factor
-    elif kind == "local":
-        # Combiners were already merged map-side; fewer objects move, but
-        # each is heavier than a raw record (key + aggregate state).
-        partitioner = make_partitioner("hash", num_partitions)
-        factor = cluster.cost_model.combiner_shuffle_factor
+    partitioner, factor = _select_partitioner(cluster, partitions, num_partitions, kind)
+
+    if pool is not None and len(partitions) > 1:
+        routed = pool.run(
+            _route_partition,
+            [(part, partitioner, num_partitions) for part in partitions],
+        )
     else:
-        raise ValueError(f"unknown shuffle kind: {kind!r}")
+        routed = [
+            _route_partition(part, partitioner, num_partitions)
+            for part in partitions
+        ]
 
     out: list[list[KeyedRecord]] = [[] for _ in range(num_partitions)]
-    for part in partitions:
-        for key, value in part:
-            out[partitioner.partition(key)].append((key, value))
+    for buckets in routed:  # input-partition order: the determinism contract
+        for target, bucket in enumerate(buckets):
+            if bucket:
+                out[target].extend(bucket)
+
     cost = total * cluster.cost_model.shuffle_unit * factor
     if kind == "sort" and total > 1:
         # The sort itself costs n·log n CPU on top of the data movement.
         cost += total * math.log2(total) * cluster.cost_model.sort_cpu_unit
     return out, total, cost
+
+
+def _select_partitioner(
+    cluster: Cluster,
+    partitions: list[list[KeyedRecord]],
+    num_partitions: int,
+    kind: str,
+) -> tuple[Partitioner, float]:
+    """The routing strategy and cost factor for one exchange ``kind``."""
+    if kind == "sort":
+        sample = _sample_keys(partitions, _RANGE_SAMPLE_SIZE)
+        return (
+            make_partitioner("range", num_partitions, sample),
+            cluster.cost_model.sort_shuffle_factor,
+        )
+    if kind == "hash":
+        return (
+            make_partitioner("hash", num_partitions),
+            cluster.cost_model.hash_shuffle_factor,
+        )
+    if kind == "local":
+        # Combiners were already merged map-side; fewer objects move, but
+        # each is heavier than a raw record (key + aggregate state).
+        return (
+            make_partitioner("hash", num_partitions),
+            cluster.cost_model.combiner_shuffle_factor,
+        )
+    raise ValueError(f"unknown shuffle kind: {kind!r}")
+
+
+def _route_partition(
+    part: list[KeyedRecord], partitioner: Partitioner, num_partitions: int
+) -> list[list[KeyedRecord]]:
+    """Map-side routing of one partition into dense per-target buckets.
+
+    Module-level and driven only by picklable arguments so it can run as a
+    worker-pool task.
+    """
+    buckets: list[list[KeyedRecord]] = [[] for _ in range(num_partitions)]
+    for key, value in part:
+        buckets[partitioner.partition(key)].append((key, value))
+    return buckets
 
 
 def _sample_keys(partitions: list[list[KeyedRecord]], limit: int) -> list[Any]:

@@ -2,7 +2,8 @@
 
 from .codegen import CodeGenerator, GeneratedPlan, compile_expr, generate_code
 from .functions import DEFAULT_FUNCTIONS, prefix, register_function
-from .lower import Executor, PhysicalConfig
+from .lower import EXECUTION_BACKENDS, Executor, PhysicalConfig
+from .parallel_exec import ParallelExecutor
 from .stats import (
     Histogram,
     KeyStats,
@@ -21,8 +22,9 @@ from .vectorized import EnvBatch, VectorizedExecutor, eval_column
 __all__ = [
     "CodeGenerator", "GeneratedPlan", "compile_expr", "generate_code",
     "DEFAULT_FUNCTIONS", "prefix", "register_function",
-    "Executor", "PhysicalConfig",
+    "EXECUTION_BACKENDS", "Executor", "PhysicalConfig",
     "EnvBatch", "VectorizedExecutor", "eval_column",
+    "ParallelExecutor",
     "Histogram", "KeyStats", "build_histogram", "collect_key_stats",
     "zipf_skew_estimate",
     "self_theta_join", "theta_join_cartesian", "theta_join_matrix",

@@ -51,18 +51,25 @@ class PhysicalConfig:
     ``grouping``: ``"aggregate"`` (CleanDB local pre-aggregation), ``"sort"``
     (Spark SQL), or ``"hash"`` (BigDansing).
     ``theta``: ``"matrix"`` (CleanDB) or ``"cartesian"`` (Spark SQL).
-    ``execution``: ``"row"`` (per-row environment dictionaries) or
-    ``"vectorized"`` (column batches; see ``repro.physical.vectorized``).
-    The vectorized backend claims every supported subtree and falls back to
-    the row path above unsupported operators, so results are identical
-    either way.  ``batch_size`` is the vectorized backend's rows-per-batch
-    dispatch granularity (cost-accounting only).
+    ``execution``: ``"row"`` (per-row environment dictionaries),
+    ``"vectorized"`` (column batches; see ``repro.physical.vectorized``), or
+    ``"parallel"`` (real multi-process execution over the cluster's worker
+    pool; see ``repro.physical.parallel_exec``).  The non-row backends claim
+    every supported subtree and fall back to the row path above unsupported
+    operators, so results are identical either way.  ``batch_size`` is the
+    vectorized backend's rows-per-batch dispatch granularity
+    (cost-accounting only).
     """
 
     grouping: str = "aggregate"
     theta: str = "matrix"
     execution: str = "row"
     batch_size: int = 1024
+
+
+# The backends `PhysicalConfig.execution` may name; CleanDB and the baseline
+# systems validate against this tuple.
+EXECUTION_BACKENDS = ("row", "vectorized", "parallel")
 
 
 class Executor:
@@ -87,6 +94,7 @@ class Executor:
             self.functions.update(functions)
         self._scan_cache: dict[tuple[str, str], Dataset] = {}
         self._vectorized = None
+        self._parallel = None
 
     # ------------------------------------------------------------------ #
     def execute(self, op: AlgebraOp) -> Any:
@@ -95,14 +103,20 @@ class Executor:
         ``{branch_name: result}``.
 
         With ``config.execution == "vectorized"``, any subtree the columnar
-        backend supports runs batch-at-a-time; unsupported roots fall back
-        to the row path here (their supported children still vectorize,
-        since the row operators recurse through this method).
+        backend supports runs batch-at-a-time; with ``"parallel"``, any
+        subtree whose tasks are picklable runs on the cluster's worker-pool
+        processes.  Unsupported roots fall back to the row path here (their
+        supported children still run on the chosen backend, since the row
+        operators recurse through this method).
         """
         if self.config.execution == "vectorized":
             vectorized = self._vectorized_executor()
             if vectorized.supports(op):
                 return vectorized.run(op)
+        elif self.config.execution == "parallel":
+            parallel = self._parallel_executor()
+            if parallel.supports(op):
+                return parallel.run(op)
         return self._execute_row(op)
 
     def _vectorized_executor(self):
@@ -111,6 +125,13 @@ class Executor:
 
             self._vectorized = VectorizedExecutor(self)
         return self._vectorized
+
+    def _parallel_executor(self):
+        if self._parallel is None:
+            from .parallel_exec import ParallelExecutor
+
+            self._parallel = ParallelExecutor(self)
+        return self._parallel
 
     def _execute_row(self, op: AlgebraOp) -> Any:
         if isinstance(op, Scan):

@@ -1,0 +1,547 @@
+"""Multi-process parallel execution: the worker-pool physical backend.
+
+The row-path executor (``repro.physical.lower``) interprets every plan on
+the driver process; the vectorized backend (``repro.physical.vectorized``)
+changes the *representation* but still runs single-process.  This module
+keeps the row representation — per-row environment dictionaries, evaluated
+with the exact same ``evaluate`` — and changes *where* the work runs:
+each narrow stage (scan binding, filters, head projection, map-side
+combines) is dispatched partition-at-a-time to the cluster's
+:class:`~repro.engine.parallel.WorkerPool`, and every wide dependency goes
+through the real hash-partitioned :func:`~repro.engine.shuffle.exchange`
+(map-side routing in workers, deterministic merge on the driver).
+
+Because workers execute the row path's own per-partition logic in the row
+path's own partition layout, results are identical to ``execution="row"`` —
+the three-way parity suite (``tests/integration/test_backend_parity.py``)
+enforces it.  Simulated cost is charged at row-path rates (the work is the
+same work); what changes is the *measured* side: every stage records the
+real wall-clock seconds its pool dispatch took (``OpMetrics.wall_seconds``,
+``MetricsCollector.measured_time``).
+
+Plan support is partial and checked per subtree, exactly like the
+vectorized seam: a subtree is claimed only when every expression, function,
+monoid, and source record it needs is **picklable** (tasks must cross a
+process boundary).  Theta joins, outer joins, unnests, multi-key groupings,
+non-``aggregate`` grouping strategies, and plans calling per-query closures
+fall back to the row path above their supported subplans.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from ..algebra.operators import (
+    TRUE,
+    AlgebraOp,
+    Join,
+    Nest,
+    Reduce,
+    Scan,
+    Select,
+    SharedScanDAG,
+)
+from ..engine.dataset import Dataset
+from ..engine.parallel import is_picklable
+from ..engine.shuffle import exchange
+from ..errors import PlanningError, SchemaError
+from ..monoid.expressions import Call, Expr, evaluate
+from ..sources.columnar import round_robin_split
+
+# Safe at module load: lower's own module-level imports do not reach back
+# here (it imports this module lazily inside Executor._parallel_executor),
+# and sharing its helpers keeps Reduce/key semantics from drifting.
+from .lower import _freeze, _is_collection
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from .lower import Executor
+
+
+# ---------------------------------------------------------------------- #
+# Worker-side task functions.
+#
+# Every task is a module-level function taking only picklable arguments, so
+# it can ship to a worker under any multiprocessing start method.  Each one
+# mirrors the corresponding row-path per-partition logic exactly — same
+# iteration order, same evaluate() — which is what makes the backend
+# result-identical to ``execution="row"``.
+# ---------------------------------------------------------------------- #
+
+def _bind_task(records: list[Any], var: str) -> list[dict]:
+    """Scan: bind each source record to the scan variable."""
+    return [{var: record} for record in records]
+
+
+def _filter_task(envs: list[dict], predicate: Expr, functions: dict) -> list[dict]:
+    return [env for env in envs if evaluate(predicate, env, functions)]
+
+
+def _keyed_task(
+    envs: list[dict], key_exprs: tuple[Expr, ...], functions: dict
+) -> list[tuple[Any, dict]]:
+    """Join map side: pair each environment with its frozen key tuple."""
+    return [
+        (
+            tuple(_freeze(evaluate(k, env, functions)) for k in key_exprs),
+            env,
+        )
+        for env in envs
+    ]
+
+
+def _join_probe_task(
+    left_keyed: list[tuple[Any, dict]],
+    right_keyed: list[tuple[Any, dict]],
+    predicate: Expr | None,
+    functions: dict,
+) -> list[dict]:
+    """Join reduce side: build a hash table per partition and probe it."""
+    table: dict[Any, list[dict]] = {}
+    for key, env in right_keyed:
+        table.setdefault(key, []).append(env)
+    out: list[dict] = []
+    for key, left_env in left_keyed:
+        for right_env in table.get(key, ()):
+            merged = {**left_env, **right_env}
+            if predicate is None or evaluate(predicate, merged, functions):
+                out.append(merged)
+    return out
+
+
+def _nest_combine_task(
+    envs: list[dict],
+    key_expr: Expr,
+    aggregates: tuple,
+    functions: dict,
+) -> list[tuple[Any, dict[str, Any]]]:
+    """Nest map side: fold one combiner state per key over a partition."""
+    combiners: dict[Any, dict[str, Any]] = {}
+    for env in envs:
+        key = _freeze(evaluate(key_expr, env, functions))
+        unit = {
+            name: monoid.unit(evaluate(head, env, functions))
+            for name, monoid, head in aggregates
+        }
+        state = combiners.get(key)
+        if state is None:
+            combiners[key] = unit
+        else:
+            combiners[key] = {
+                name: monoid.merge(state[name], unit[name])
+                for name, monoid, _ in aggregates
+            }
+    return list(combiners.items())
+
+
+def _nest_merge_task(
+    part: list[tuple[Any, dict[str, Any]]],
+    aggregates: tuple,
+    var: str,
+    group_predicate: Expr | None,
+    functions: dict,
+) -> list[dict]:
+    """Nest reduce side: merge shuffled combiners, emit group records."""
+    merged: dict[Any, dict[str, Any]] = {}
+    for key, state in part:
+        existing = merged.get(key)
+        if existing is None:
+            merged[key] = state
+        else:
+            merged[key] = {
+                name: monoid.merge(existing[name], state[name])
+                for name, monoid, _ in aggregates
+            }
+    out: list[dict] = []
+    for key, state in merged.items():
+        env = {var: {"key": key, **state}}
+        if group_predicate is None or evaluate(group_predicate, env, functions):
+            out.append(env)
+    return out
+
+
+def _head_task(
+    envs: list[dict], predicate: Expr | None, head: Expr, functions: dict
+) -> list[Any]:
+    """Reduce map side: optional filter plus head projection, one dispatch."""
+    if predicate is not None:
+        envs = [env for env in envs if evaluate(predicate, env, functions)]
+    return [evaluate(head, env, functions) for env in envs]
+
+
+def _fold_task(values: list[Any], monoid: Any) -> Any:
+    """Reduce: fold one partition's head values into a partial state."""
+    return monoid.fold(values)
+
+
+def _distinct_local_task(values: list[Any]) -> list[tuple[Any, None]]:
+    """Distinct map side: per-partition dedupe, keyed for the exchange."""
+    seen: dict[Any, None] = {}
+    for value in values:
+        seen.setdefault(value, None)
+    return [(value, None) for value in seen]
+
+
+def _distinct_merge_task(part: list[tuple[Any, None]]) -> list[Any]:
+    """Distinct reduce side: first-seen order per target partition."""
+    seen: dict[Any, None] = {}
+    for value, _ in part:
+        seen.setdefault(value, None)
+    return list(seen)
+
+
+# ---------------------------------------------------------------------- #
+# The parallel executor
+# ---------------------------------------------------------------------- #
+
+class ParallelExecutor:
+    """Interprets supported algebra plans over the cluster's worker pool.
+
+    Created by (and sharing catalog/config/functions with) a row-path
+    :class:`~repro.physical.lower.Executor`.  Partition layout mirrors the
+    row path's round-robin ``parallelize`` so per-partition task logic can
+    reproduce row-path results exactly.
+    """
+
+    def __init__(self, executor: "Executor"):
+        self.executor = executor
+        self.cluster = executor.cluster
+        self.catalog = executor.catalog
+        self.config = executor.config
+        self.functions = executor.functions
+        # Only picklable functions can cross the process boundary; plans
+        # calling anything else are left to the row path by supports().
+        self._shippable = {
+            name: func
+            for name, func in self.functions.items()
+            if is_picklable(func)
+        }
+        self._scan_cache: dict[tuple[str, str], list[list[dict]]] = {}
+        self._source_ok: dict[str, bool] = {}
+
+    # -- support check ------------------------------------------------- #
+    def supports(self, op: AlgebraOp) -> bool:
+        """Whether this whole subtree can run on the worker pool."""
+        if isinstance(op, Scan):
+            return self._source_supported(op.table)
+        if isinstance(op, Select):
+            return self._expr_ok(op.predicate) and self.supports(op.child)
+        if isinstance(op, Join):
+            return (
+                bool(op.left_keys)
+                and not op.outer
+                and all(self._expr_ok(k) for k in op.left_keys)
+                and all(self._expr_ok(k) for k in op.right_keys)
+                and self._expr_ok(op.predicate)
+                and self.supports(op.left)
+                and self.supports(op.right)
+            )
+        if isinstance(op, Nest):
+            return (
+                not getattr(op, "multi", False)
+                and self.config.grouping == "aggregate"
+                and self._expr_ok(op.key)
+                and self._expr_ok(op.group_predicate)
+                and all(
+                    self._expr_ok(head) and is_picklable(monoid)
+                    for _, monoid, head in op.aggregates
+                )
+                and self.supports(op.child)
+            )
+        if isinstance(op, Reduce):
+            return (
+                self._expr_ok(op.predicate)
+                and self._expr_ok(op.head)
+                and is_picklable(op.monoid)
+                and self.supports(op.child)
+            )
+        if isinstance(op, SharedScanDAG):
+            return self.supports(op.scan) and all(
+                self.supports(branch) for branch in op.branches
+            )
+        return False
+
+    def _expr_ok(self, expr: Expr) -> bool:
+        """Shippable: the tree pickles and every called function does too."""
+        return is_picklable(expr) and all(
+            name in self._shippable for name in _call_names(expr)
+        )
+
+    def _funcs_for(self, *exprs: Expr | None) -> dict[str, Callable]:
+        """Only the functions these expressions actually call — tasks ship
+        this instead of the whole registry (usually it is empty)."""
+        names: set[str] = set()
+        for expr in exprs:
+            if expr is not None:
+                names |= _call_names(expr)
+        return {name: self._shippable[name] for name in names}
+
+    def _source_supported(self, table: str) -> bool:
+        if table not in self._source_ok:
+            source = self.catalog.get(table)
+            # Whole-list check (cached per table): a single unpicklable
+            # record anywhere must route the plan to the row path, never
+            # surface as a raw pickling error mid-dispatch.
+            ok = isinstance(source, list) and is_picklable(source)
+            self._source_ok[table] = ok
+        return self._source_ok[table]
+
+    # -- execution ----------------------------------------------------- #
+    def run(self, op: AlgebraOp) -> Any:
+        """Execute a supported plan; returns the same shapes as the row path
+        (a Dataset of environments, a folded scalar, or a branch dict)."""
+        if isinstance(op, SharedScanDAG):
+            return self._dag(op)
+        result = self._execute(op, {})
+        if isinstance(result, EnvPartitions):
+            return result.to_dataset(self.cluster)
+        return result
+
+    def _execute(self, op: AlgebraOp, nest_cache: dict[str, "EnvPartitions"]) -> Any:
+        if isinstance(op, Scan):
+            return EnvPartitions(self._scan(op))
+        if isinstance(op, Select):
+            return self._select(op, nest_cache)
+        if isinstance(op, Join):
+            return self._join(op, nest_cache)
+        if isinstance(op, Nest):
+            signature = op.describe()
+            if signature not in nest_cache:
+                nest_cache[signature] = self._nest(op, nest_cache)
+            return nest_cache[signature]
+        if isinstance(op, Reduce):
+            return self._reduce(op, nest_cache)
+        raise PlanningError(f"no parallel translation for {type(op).__name__}")
+
+    # -- operators ------------------------------------------------------ #
+    def _scan(self, op: Scan) -> list[list[dict]]:
+        cache_key = (op.table, op.var)
+        if cache_key in self._scan_cache:
+            return self._scan_cache[cache_key]
+        try:
+            source = self.catalog[op.table]
+        except KeyError:
+            raise SchemaError(f"unknown table {op.table!r}") from None
+        # The row path's partition layout (``Cluster.parallelize`` defaults),
+        # so per-partition task logic sees exactly the row path's data.
+        parts = round_robin_split(list(source), self.cluster.default_parallelism)
+        pool = self.cluster.pool
+        bound = pool.run(_bind_task, [(part, op.var) for part in parts])
+        unit = self.cluster.cost_model.record_unit + self.cluster.cost_model.scan_unit(op.fmt)
+        self._charge(
+            f"scan:{op.table}:par",
+            [len(p) * unit for p in bound],
+            wall=pool.last_wall_seconds,
+        )
+        self._scan_cache[cache_key] = bound
+        return bound
+
+    def _select(self, op: Select, nest_cache: dict) -> "EnvPartitions":
+        child = self._child_partitions(op.child, nest_cache)
+        pool = self.cluster.pool
+        funcs = self._funcs_for(op.predicate)
+        out = pool.run(
+            _filter_task, [(part, op.predicate, funcs) for part in child]
+        )
+        unit = self.cluster.cost_model.record_unit
+        self._charge(
+            "select:par", [len(p) * unit for p in child], wall=pool.last_wall_seconds
+        )
+        return EnvPartitions(out)
+
+    def _join(self, op: Join, nest_cache: dict) -> "EnvPartitions":
+        left = self._child_partitions(op.left, nest_cache)
+        right = self._child_partitions(op.right, nest_cache)
+        pool = self.cluster.pool
+        n = self.cluster.default_parallelism
+        residual = op.predicate if op.predicate != TRUE else None
+
+        wall_start = pool.wall_seconds_total
+        keyed_l = pool.run(
+            _keyed_task,
+            [(p, op.left_keys, self._funcs_for(*op.left_keys)) for p in left],
+        )
+        keyed_r = pool.run(
+            _keyed_task,
+            [(p, op.right_keys, self._funcs_for(*op.right_keys)) for p in right],
+        )
+        l_parts, moved_l, cost_l = exchange(
+            self.cluster, keyed_l, n, kind="hash", pool=pool
+        )
+        r_parts, moved_r, cost_r = exchange(
+            self.cluster, keyed_r, n, kind="hash", pool=pool
+        )
+        merged = pool.run(
+            _join_probe_task,
+            [
+                (lp, rp, residual, self._funcs_for(residual))
+                for lp, rp in zip(l_parts, r_parts)
+            ],
+        )
+        wall = pool.wall_seconds_total - wall_start
+        unit = self.cluster.cost_model.record_unit
+        per_part = [
+            (len(lp) + len(rp) + len(out)) * unit
+            for lp, rp, out in zip(l_parts, r_parts, merged)
+        ]
+        self._charge(
+            "join:par",
+            per_part,
+            shuffled=moved_l + moved_r,
+            cost=cost_l + cost_r,
+            wall=wall,
+        )
+        return EnvPartitions(merged)
+
+    def _nest(self, op: Nest, nest_cache: dict) -> "EnvPartitions":
+        child = self._child_partitions(op.child, nest_cache)
+        pool = self.cluster.pool
+        n = self.cluster.default_parallelism
+        unit = self.cluster.cost_model.record_unit
+
+        combine_funcs = self._funcs_for(op.key, *(head for _, _, head in op.aggregates))
+        combined = pool.run(
+            _nest_combine_task,
+            [(part, op.key, op.aggregates, combine_funcs) for part in child],
+        )
+        self._charge(
+            "nest:parCombine",
+            [len(p) * unit for p in child],
+            wall=pool.last_wall_seconds,
+        )
+
+        wall_start = pool.wall_seconds_total
+        exchanged, moved, cost = exchange(
+            self.cluster, combined, n, kind="local", pool=pool
+        )
+        group_pred = op.group_predicate if op.group_predicate != TRUE else None
+        merged = pool.run(
+            _nest_merge_task,
+            [
+                (part, op.aggregates, op.var, group_pred, self._funcs_for(group_pred))
+                for part in exchanged
+            ],
+        )
+        wall = pool.wall_seconds_total - wall_start
+        self._charge(
+            "nest:parMerge",
+            [len(p) * unit for p in exchanged],
+            shuffled=moved,
+            cost=cost,
+            wall=wall,
+        )
+        return EnvPartitions(merged)
+
+    def _reduce(self, op: Reduce, nest_cache: dict) -> Any:
+        child_result = self._execute(op.child, nest_cache)
+        parts = child_result.parts
+        pool = self.cluster.pool
+        pred = op.predicate if op.predicate != TRUE else None
+        head_funcs = self._funcs_for(pred, op.head)
+        heads = pool.run(
+            _head_task, [(part, pred, op.head, head_funcs) for part in parts]
+        )
+        unit = self.cluster.cost_model.record_unit
+        self._charge(
+            "reduce:parHead",
+            [len(p) * unit for p in parts],
+            wall=pool.last_wall_seconds,
+        )
+        if _is_collection(op.monoid):
+            if op.monoid.idempotent:
+                return self._distinct(heads)
+            return Dataset(self.cluster, heads, op="reduce:parHead")
+        partials = pool.run(_fold_task, [(values, op.monoid) for values in heads])
+        self._charge(
+            "reduce:parFold",
+            [len(p) * unit for p in heads],
+            wall=pool.last_wall_seconds,
+        )
+        result = op.monoid.zero()
+        for partial in partials:
+            result = op.monoid.merge(result, partial)
+        return result
+
+    def _distinct(self, head_parts: list[list[Any]]) -> Dataset:
+        pool = self.cluster.pool
+        n = self.cluster.default_parallelism
+        unit = self.cluster.cost_model.record_unit
+        wall_start = pool.wall_seconds_total
+        local = pool.run(_distinct_local_task, [(values,) for values in head_parts])
+        exchanged, moved, cost = exchange(
+            self.cluster, local, n, kind="local", pool=pool
+        )
+        merged = pool.run(_distinct_merge_task, [(part,) for part in exchanged])
+        wall = pool.wall_seconds_total - wall_start
+        self._charge(
+            "reduce:parDistinct",
+            [len(p) * unit for p in exchanged],
+            shuffled=moved,
+            cost=cost,
+            wall=wall,
+        )
+        return Dataset(self.cluster, merged, op="reduce:parDistinct")
+
+    def _dag(self, op: SharedScanDAG) -> dict[str, Any]:
+        self._scan(op.scan)  # materialize once; branch scans hit the cache
+        names = op.branch_names or tuple(
+            f"branch{i}" for i in range(len(op.branches))
+        )
+        nest_cache: dict[str, EnvPartitions] = {}
+        results: dict[str, Any] = {}
+        for name, branch in zip(names, op.branches):
+            result = self._execute(branch, nest_cache)
+            if isinstance(result, EnvPartitions):
+                result = result.to_dataset(self.cluster)
+            results[name] = result
+        return results
+
+    # -- helpers -------------------------------------------------------- #
+    def _child_partitions(self, op: AlgebraOp, nest_cache: dict) -> list[list[dict]]:
+        result = self._execute(op, nest_cache)
+        if not isinstance(result, EnvPartitions):
+            raise PlanningError(
+                f"parallel operator expected partitions, got {type(result).__name__}"
+            )
+        return result.parts
+
+    def _charge(
+        self,
+        name: str,
+        per_part_work: Sequence[float],
+        shuffled: int = 0,
+        cost: float = 0.0,
+        wall: float = 0.0,
+    ) -> None:
+        self.cluster.record_op(
+            name,
+            self.cluster.spread_over_nodes(per_part_work),
+            shuffled_records=shuffled,
+            shuffle_cost=cost,
+            wall_seconds=wall,
+        )
+
+
+class EnvPartitions:
+    """A collection-valued intermediate: row-environment partitions."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: list[list[dict]]):
+        self.parts = parts
+
+    def to_dataset(self, cluster: Any) -> Dataset:
+        """Wrap the partitions for collection/driver consumers.  No cost is
+        charged: every operator already paid for its rows."""
+        return Dataset(cluster, self.parts, op="parallel")
+
+
+def _call_names(expr: Expr) -> set[str]:
+    """Every function name a :class:`Call` in this tree references."""
+    names: set[str] = set()
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Call):
+            names.add(node.name)
+        stack.extend(node.children())
+    return names

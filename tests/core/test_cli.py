@@ -69,6 +69,35 @@ class TestCommands:
         assert "branch 'fd1'" in out
         assert "1 rows" in out
 
+    def test_query_parallel_backend_matches_row(self, customer_csv, capsys):
+        args_tail = [
+            "--table",
+            f"customer={customer_csv}:csv:name:str,address:str,nationkey:int",
+            "--nodes", "2",
+            "SELECT * FROM customer c FD(c.address, c.nationkey)",
+        ]
+        assert main(["query"] + args_tail) == 0
+        row_out = capsys.readouterr().out
+        assert (
+            main(["query", "--execution", "parallel", "--workers", "2"] + args_tail)
+            == 0
+        )
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == row_out
+
+    def test_parallel_reports_measured_time(self, customer_csv, capsys):
+        code = main(
+            [
+                "query", "--metrics", "--execution", "parallel", "--workers", "2",
+                "--table",
+                f"customer={customer_csv}:csv:name:str,address:str,nationkey:int",
+                "SELECT * FROM customer c FD(c.address, c.nationkey)",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert '"measured_time"' in out
+
     def test_explain(self, customer_csv, capsys):
         code = main(
             [

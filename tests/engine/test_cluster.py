@@ -23,6 +23,41 @@ class TestClusterBasics:
         assert Cluster(num_nodes=7).default_parallelism == 7
 
 
+class TestWorkers:
+    def test_workers_clamped_to_num_nodes_with_warning(self):
+        with pytest.warns(UserWarning, match="clamping"):
+            c = Cluster(num_nodes=2, workers=8)
+        assert c.workers == 2
+
+    def test_workers_within_num_nodes_accepted_silently(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            c = Cluster(num_nodes=4, workers=3)
+        assert c.workers == 3
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            Cluster(num_nodes=4, workers=0)
+        with pytest.raises(ValueError):
+            Cluster(num_nodes=4, workers=-2)
+
+    def test_default_is_simulated_only(self):
+        c = Cluster(num_nodes=4)
+        assert c.workers is None
+        assert not c.has_pool
+
+    def test_pool_size_defaults_when_unset(self):
+        c = Cluster(num_nodes=1)
+        try:
+            # Even with no explicit workers, a requested pool is clamped to
+            # the simulated cluster size.
+            assert c.pool.workers == 1
+        finally:
+            c.shutdown()
+
+
 class TestBudget:
     def test_budget_exceeded_raises_with_amounts(self):
         c = Cluster(num_nodes=2, budget=10.0)

@@ -72,6 +72,15 @@ class TestMetricsCollector:
         mc = MetricsCollector()
         summary = mc.summary()
         assert set(summary) == {
-            "simulated_time", "shuffled_records", "total_work",
-            "comparisons", "num_ops", "batches",
+            "simulated_time", "measured_time", "shuffled_records",
+            "total_work", "comparisons", "num_ops", "batches",
         }
+
+    def test_measured_time_sums_wall_seconds(self):
+        mc = MetricsCollector()
+        mc.record(OpMetrics("a", [1.0], wall_seconds=0.25))
+        mc.record(OpMetrics("b", [1.0]))  # simulated-only stage
+        mc.record(OpMetrics("c", [1.0], wall_seconds=0.5))
+        assert mc.measured_time == pytest.approx(0.75)
+        # Measured time never leaks into the simulated clock.
+        assert mc.simulated_time == 3.0

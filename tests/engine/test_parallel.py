@@ -1,0 +1,167 @@
+"""Unit tests for the real worker pool: ordering, errors, clean aborts.
+
+The error-path tests are the load-bearing ones: a worker raising mid-task
+must surface the *original* exception on the driver (never a pickling
+error), and a budget blow-up must tear the whole pool down instead of
+leaking processes.
+"""
+
+import pytest
+
+from repro.baselines import CleanDBSystem
+from repro.engine import Cluster, WorkerPool, WorkerTaskError
+from repro.errors import BudgetExceededError, ReproError
+
+
+# --------------------------------------------------------------------- #
+# Module-level task functions (tasks must be importable in workers).
+# --------------------------------------------------------------------- #
+
+def _square(x):
+    return x * x
+
+
+def _sum_part(part):
+    return sum(part)
+
+
+class _CustomError(ReproError):
+    pass
+
+
+def _raise_value_error(x):
+    raise ValueError(f"boom on {x}")
+
+
+def _square_unless_five(x):
+    if x == 5:
+        raise ValueError(f"boom on {x}")
+    return x * x
+
+
+def _raise_custom(x):
+    raise _CustomError(f"custom boom on {x}")
+
+
+class _UnpicklableError(Exception):
+    """An exception that cannot cross the process boundary."""
+
+    def __init__(self, message):
+        super().__init__(message)
+        self.callback = lambda: None  # lambdas do not pickle
+
+
+def _raise_unpicklable(x):
+    raise _UnpicklableError(f"opaque boom on {x}")
+
+
+@pytest.fixture
+def pool():
+    p = WorkerPool(2)
+    yield p
+    p.shutdown()
+
+
+class TestWorkerPool:
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+
+    def test_results_in_submission_order(self, pool):
+        results = pool.run(_square, [(i,) for i in range(20)])
+        assert results == [i * i for i in range(20)]
+
+    def test_partition_tasks(self, pool):
+        parts = [[1, 2, 3], [], [10, 20]]
+        assert pool.run(_sum_part, [(p,) for p in parts]) == [6, 0, 30]
+
+    def test_original_exception_surfaces(self, pool):
+        with pytest.raises(ValueError, match="boom on 3") as info:
+            pool.run(_raise_value_error, [(3,)])
+        # The worker traceback travels along for diagnosis.
+        assert "_raise_value_error" in info.value.worker_traceback
+
+    def test_library_exception_surfaces_as_itself(self, pool):
+        with pytest.raises(_CustomError, match="custom boom"):
+            pool.run(_raise_custom, [(1,)])
+
+    def test_unpicklable_exception_degrades_to_worker_task_error(self, pool):
+        with pytest.raises(WorkerTaskError, match="opaque boom on 7") as info:
+            pool.run(_raise_unpicklable, [(7,)])
+        assert info.value.exc_type == "_UnpicklableError"
+        assert "_raise_unpicklable" in info.value.worker_traceback
+
+    def test_mixed_batch_surfaces_the_failing_task(self, pool):
+        # One run() whose batch mixes succeeding and failing tasks: the
+        # failing task's own error surfaces, not a misattributed one.
+        with pytest.raises(ValueError, match="boom on 5"):
+            pool.run(_square_unless_five, [(i,) for i in range(8)])
+
+    def test_pool_survives_task_failure(self, pool):
+        with pytest.raises(ValueError):
+            pool.run(_raise_value_error, [(1,)])
+        assert pool.run(_square, [(4,)]) == [16]
+
+    def test_shutdown_idempotent_and_closes(self, pool):
+        pool.shutdown()
+        pool.shutdown()
+        assert pool.closed
+        with pytest.raises(RuntimeError):
+            pool.run(_square, [(1,)])
+
+    def test_context_manager_shuts_down(self):
+        with WorkerPool(2) as p:
+            assert p.run(_square, [(3,)]) == [9]
+        assert p.closed
+
+    def test_wall_clock_observed(self, pool):
+        pool.run(_square, [(i,) for i in range(4)])
+        assert pool.last_wall_seconds > 0.0
+        assert pool.wall_seconds_total >= pool.last_wall_seconds
+        assert pool.tasks_dispatched == 4
+
+
+class TestClusterPoolLifecycle:
+    def test_pool_is_lazy(self):
+        cluster = Cluster(num_nodes=4, workers=2)
+        assert not cluster.has_pool
+        cluster.pool.run(_square, [(2,)])
+        assert cluster.has_pool
+        cluster.shutdown()
+        assert not cluster.has_pool
+
+    def test_budget_exceeded_shuts_pool_down(self):
+        cluster = Cluster(num_nodes=2, workers=2, budget=10.0)
+        assert cluster.pool.run(_square, [(3,)]) == [9]
+        with pytest.raises(BudgetExceededError):
+            cluster.record_op("big", [100.0, 0.0])
+        assert not cluster.has_pool
+
+    def test_cluster_context_manager(self):
+        with Cluster(num_nodes=2, workers=2) as cluster:
+            cluster.pool.run(_square, [(1,)])
+        assert not cluster.has_pool
+
+
+class TestSystemBudgetAbort:
+    def test_parallel_fd_budget_exceeded_aborts_cleanly(self):
+        """A parallel System run that blows the budget reports the same
+        status as a serial one and leaves no worker processes behind."""
+        records = [
+            {"addr": f"a{i % 5}", "nation": i % 3, "_rid": i} for i in range(400)
+        ]
+        system = CleanDBSystem(num_nodes=4, budget=1.0, execution="parallel", workers=2)
+        result = system.check_fd(records, ["addr"], ["nation"])
+        assert result.status == "budget_exceeded"
+        assert result.output_count == 0
+
+    def test_parallel_matches_row_status_when_ok(self):
+        records = [
+            {"addr": f"a{i % 5}", "nation": i % 3, "_rid": i} for i in range(60)
+        ]
+        row = CleanDBSystem(num_nodes=4).check_fd(records, ["addr"], ["nation"])
+        par = CleanDBSystem(num_nodes=4, execution="parallel", workers=2).check_fd(
+            records, ["addr"], ["nation"]
+        )
+        assert row.status == par.status == "ok"
+        assert row.output_count == par.output_count
