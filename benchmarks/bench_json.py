@@ -1,0 +1,56 @@
+"""Machine-readable benchmark emitter: ``BENCH_fig8.json``.
+
+``RESULTS.txt`` renders the benchmark tables for humans; this module writes
+the Fig. 8 dedup numbers — measured seconds, candidate/verified comparison
+counts, and the pruning ratio — as JSON so the perf trajectory stays
+comparable across PRs without parsing text tables.  Each fig8 bench merges
+its own section into the file (read-modify-write), so running either test
+alone refreshes only its part.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+BENCH_PATH = Path(__file__).parent / "BENCH_fig8.json"
+SCHEMA_VERSION = 1
+
+
+def run_record(result: Any) -> dict:
+    """Flatten a :class:`~repro.evaluation.runner.RunResult` for the JSON.
+
+    ``candidates`` / ``verified`` are the similarity kernel's two comparison
+    counters; their ratio is the pruning ratio (1.0 = nothing pruned).
+    """
+    record = {
+        "status": result.status,
+        "measured_seconds": round(result.wall_seconds, 4),
+        "candidates": result.comparisons,
+        "verified": result.verified,
+        "pruning_ratio": round(result.pruning_ratio, 4),
+    }
+    if result.ok:
+        record["simulated_time"] = round(result.simulated_time, 1)
+        record["pairs"] = result.output_count
+    return record
+
+
+def emit_fig8(section: str, payload: dict) -> dict:
+    """Merge one figure's results into ``BENCH_fig8.json``; returns the file
+    contents after the merge."""
+    data: dict = {}
+    if BENCH_PATH.exists():
+        try:
+            data = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+        except ValueError:
+            data = {}
+    if not isinstance(data, dict):
+        data = {}
+    data["schema"] = SCHEMA_VERSION
+    data[section] = payload
+    BENCH_PATH.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return data

@@ -9,7 +9,7 @@ similarity phase is heavier (fewer, larger clusters).
 
 from workloads import NUM_NODES, dblp_validation
 
-from repro.cleaning import validate_terms
+from repro.cleaning import NO_FILTERS, validate_terms
 from repro.datasets.dblp import author_occurrences
 from repro.engine import Cluster
 from repro.evaluation import print_table
@@ -43,9 +43,40 @@ def run_all_configs():
                 "similarity": round(similarity, 1),
                 "total": round(cluster.metrics.simulated_time, 1),
                 "comparisons": cluster.metrics.comparisons,
+                # Candidates that survived the kernel's length/count filters
+                # and actually ran the (banded) metric.
+                "verified": cluster.metrics.verified,
             }
         )
     return rows
+
+
+def run_filter_ablation():
+    """The kernel's filter toggle on the paper's preferred tf q=3 config:
+    identical repairs, fewer verified comparisons, cheaper similarity."""
+    data = dblp_validation()
+    occurrences = author_occurrences(data.records)
+    rows = []
+    repairs_by_config = {}
+    for label, filters in (("filters on", None), ("filters off", NO_FILTERS)):
+        cluster = Cluster(num_nodes=NUM_NODES)
+        ds = cluster.parallelize(occurrences, name="authors")
+        repairs = validate_terms(
+            ds, data.dictionary, theta=0.70, q=3, op="token_filtering",
+            filters=filters,
+        ).collect()
+        repairs_by_config[label] = sorted(
+            (r.term, r.suggestions) for r in repairs
+        )
+        rows.append(
+            {
+                "config": label,
+                "candidates": cluster.metrics.comparisons,
+                "verified": cluster.metrics.verified,
+                "similarity": round(cluster.metrics.phase_time("similarity"), 1),
+            }
+        )
+    return rows, repairs_by_config
 
 
 def test_fig3_term_validation_runtime(benchmark, report):
@@ -71,3 +102,21 @@ def test_fig3_term_validation_runtime(benchmark, report):
     # Token filtering needs fewer pairwise comparisons than k-means at the
     # paper's preferred settings (q=3 vs k=10).
     assert by["tf q=3"]["comparisons"] <= by["kmeans k=10"]["comparisons"] * 3
+    # The similarity kernel's filters prune candidates in every config.
+    for row in rows:
+        assert 0 < row["verified"] <= row["comparisons"]
+
+    ablation_rows, repairs_by_config = run_filter_ablation()
+    report(
+        print_table(
+            "Fig 3 (kernel): term validation, filters on vs naive", ablation_rows
+        )
+    )
+    on, off = ablation_rows
+    # Lossless pruning: identical repairs, same candidates, fewer metric
+    # runs, cheaper similarity phase.
+    assert repairs_by_config["filters on"] == repairs_by_config["filters off"]
+    assert on["candidates"] == off["candidates"]
+    assert off["verified"] == off["candidates"]
+    assert on["verified"] < off["verified"]
+    assert on["similarity"] < off["similarity"]

@@ -210,7 +210,9 @@ def test_fig7_sparksql_cannot_handle_skewed_original(benchmark, report):
 
     def run():
         data = dblp_dedup("small", uniform=False)  # original skewed titles
-        budget = 11_000
+        # Between CleanDB (~3.5k) and Spark SQL (~5.3k) with the similarity
+        # kernel's candidate pruning on; the pre-kernel value was 11k.
+        budget = 4_500
         spark = SparkSQLSystem(num_nodes=NUM_NODES, budget=budget).deduplicate(
             data.records, ["pages", "authors"], block_on=_block, theta=THETA, fmt="json"
         )

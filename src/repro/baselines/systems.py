@@ -40,6 +40,7 @@ from ..cleaning.denial import (
     check_fd_parallel,
 )
 from ..cleaning.similarity import get_metric
+from ..cleaning.simjoin import FilterConfig
 from ..cleaning.term_validation import validate_terms
 from ..engine.cluster import Cluster
 from ..engine.metrics import CostModel
@@ -116,6 +117,7 @@ class System:
             output_count=count,
             shuffled_records=cluster.metrics.shuffled_records,
             comparisons=cluster.metrics.comparisons,
+            verified=cluster.metrics.verified,
             grouping_time=cluster.metrics.phase_time("grouping")
             + cluster.metrics.phase_time("nest")
             + cluster.metrics.phase_time("fd"),
@@ -167,6 +169,7 @@ class System:
         metric: str = "LD",
         theta: float = 0.8,
         fmt: str = "memory",
+        filters: FilterConfig | None = None,
     ) -> RunResult:
         def action(cluster: Cluster) -> list:
             if self.grouping == "aggregate":
@@ -179,6 +182,7 @@ class System:
                         theta=theta,
                         block_on=block_on,
                         fmt=fmt,
+                        filters=filters,
                     ).collect()
                 if self.execution == "parallel":
                     return deduplicate_parallel(
@@ -189,6 +193,7 @@ class System:
                         theta=theta,
                         block_on=block_on,
                         fmt=fmt,
+                        filters=filters,
                     ).collect()
             ds = cluster.parallelize(records, fmt=fmt, name="input")
             return deduplicate(
@@ -198,6 +203,7 @@ class System:
                 theta=theta,
                 block_on=block_on,
                 grouping=self.grouping,
+                filters=filters,
             ).collect()
 
         return self._run(action)
@@ -213,6 +219,7 @@ class System:
         k: int = 10,
         delta: float = 0.05,
         fmt: str = "memory",
+        filters: FilterConfig | None = None,
     ) -> RunResult:
         def action(cluster: Cluster) -> list:
             ds = cluster.parallelize(terms, fmt=fmt, name="terms")
@@ -225,6 +232,7 @@ class System:
                 q=q,
                 k=k,
                 delta=delta,
+                filters=filters,
             ).collect()
 
         return self._run(action)
@@ -278,6 +286,7 @@ class SparkSQLSystem(System):
         k: int = 10,
         delta: float = 0.05,
         fmt: str = "memory",
+        filters: FilterConfig | None = None,
     ) -> RunResult:
         sim = get_metric(metric)
 
@@ -285,8 +294,12 @@ class SparkSQLSystem(System):
             data = cluster.parallelize(terms, fmt=fmt, name="terms")
             dict_ds = cluster.parallelize(dictionary, name="dictionary")
             # Cross product of input and dictionary + similarity UDF filter.
+            # The UDF runs the metric on every pair: no candidate pruning,
+            # so verified == candidates (pruning ratio 1.0).
             product = data.cartesian(dict_ds, name="termValidation:cross")
-            cluster.charge_comparisons(product.count())
+            pair_count = product.count()
+            cluster.charge_comparisons(pair_count)
+            cluster.charge_verified(pair_count)
             matches = product.filter(
                 lambda pair: sim(str(pair[0]), str(pair[1])) >= theta,
                 name="similarity:udf",
@@ -347,6 +360,7 @@ class BigDansingSystem(System):
         metric: str = "LD",
         theta: float = 0.8,
         fmt: str = "memory",
+        filters: FilterConfig | None = None,
     ) -> RunResult:
         is_customer = bool(records) and "custkey" in records[0]
         if not is_customer:
@@ -355,7 +369,8 @@ class BigDansingSystem(System):
                 reason="BigDansing's dedup is a UDF specific to the customer table",
             )
         return super().deduplicate(
-            records, attributes, block_on=block_on, metric=metric, theta=theta, fmt=fmt
+            records, attributes, block_on=block_on, metric=metric, theta=theta,
+            fmt=fmt, filters=filters,
         )
 
     def validate_terms(self, *args: Any, **kwargs: Any) -> RunResult:

@@ -60,6 +60,16 @@ from .similarity import (
     similar,
 )
 from .repair import apply_term_repairs, repair_fd_by_majority
+from .simjoin import (
+    DEFAULT_FILTERS,
+    NO_FILTERS,
+    FilterConfig,
+    JoinStats,
+    PreparedRecord,
+    SimJoin,
+    banded_ld_similarity,
+    ld_upper_bound,
+)
 from .term_validation import TermRepair, validate_terms
 from .tokenize import normalize_term, qgrams, words
 from .transform import (
@@ -89,6 +99,8 @@ __all__ = [
     "UnionFind", "close_pairs", "elect_representatives", "entity_clusters",
     "fuse_duplicates",
     "apply_term_repairs", "repair_fd_by_majority",
+    "DEFAULT_FILTERS", "NO_FILTERS", "FilterConfig", "JoinStats",
+    "PreparedRecord", "SimJoin", "banded_ld_similarity", "ld_upper_bound",
     "TermRepair", "validate_terms",
     "normalize_term", "qgrams", "words",
     "FillMissing", "SemanticMap", "SplitAttribute", "SplitDate", "Transform",

@@ -8,14 +8,21 @@ grouped (exact key, token filtering, or k-means), then compared pairwise
     for (g <- groups, p1 <- g.partition, p2 <- g.partition,
          similar(metric, p1.atts, p2.atts, θ)) yield bag(p1, p2)
 
-Blocks may overlap (token filtering assigns a record to every q-gram group),
-so candidate pairs are canonicalized on record ids and de-duplicated before
-being returned.
+All three physical paths — the row executor, the multi-process worker tasks
+of :func:`deduplicate_parallel`, and the columnar fast path of
+:func:`deduplicate_columnar` — verify their candidate pairs through the
+shared :class:`~repro.cleaning.simjoin.SimJoin` kernel, which precomputes
+per-record comparison state once, applies length/count filtering and DP
+banding before the metric runs, and (for overlapping token/k-means blocks)
+verifies each pair exactly once in its owning block.  Pass
+``filters=NO_FILTERS`` to reproduce the naive unfiltered loop; the output
+pair set is identical either way.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import count as _counter
 from typing import Any, Callable, Sequence
 
 from ..engine.cluster import Cluster
@@ -25,7 +32,13 @@ from ..engine.partitioner import stable_hash
 from ..engine.shuffle import exchange
 from ..sources.columnar import batch_partitions, round_robin_split
 from .blocking import key_blocks, make_blocks
-from .similarity import get_metric
+from .simjoin import (
+    FilterConfig,
+    JoinStats,
+    PreparedRecord,
+    SimJoin,
+    resolve_filters,
+)
 
 RID = "_rid"
 
@@ -64,6 +77,7 @@ def deduplicate(
     op: str | None = None,
     op_params: dict | None = None,
     grouping: str = "aggregate",
+    filters: FilterConfig | None = None,
 ) -> Dataset:
     """Find pairs of records that refer to the same real-world entity.
 
@@ -81,6 +95,9 @@ def deduplicate(
         ``"length_filtering"``) applied to the concatenated ``attributes``.
     ``grouping``
         Physical grouping strategy (``aggregate`` / ``sort`` / ``hash``).
+    ``filters``
+        Candidate-pruning toggles for the similarity kernel (defaults on;
+        ``NO_FILTERS`` reproduces the naive all-pairs verification).
 
     Returns a dataset of :class:`DuplicatePair` with each unordered pair
     reported once.
@@ -104,7 +121,7 @@ def deduplicate(
             grouping=grouping,
         )
 
-    return pairwise_within_blocks(blocks, attributes, metric, theta)
+    return pairwise_within_blocks(blocks, attributes, metric, theta, filters=filters)
 
 
 def pairwise_within_blocks(
@@ -112,53 +129,65 @@ def pairwise_within_blocks(
     attributes: Sequence[str],
     metric: str,
     theta: float,
+    filters: FilterConfig | None = None,
 ) -> Dataset:
-    """All-pairs similarity inside each block; overlapping blocks deduped.
+    """Similarity self-join inside each block via the shared kernel.
 
-    Charges one comparison per candidate pair plus work proportional to the
-    compared string lengths — this is the "Similarity" phase of Fig. 3.
+    Every candidate pair charges one comparison (plus a fixed filter unit
+    of work); only pairs surviving the filters charge a verified comparison
+    and work proportional to the compared string lengths — this is the
+    "Similarity" phase of Fig. 3.
     """
     cluster = blocks.cluster
-    sim = get_metric(metric)
-    compare_unit = cluster.cost_model.compare_unit
+    cost = cluster.cost_model
+    join = SimJoin(
+        attributes,
+        metric=metric,
+        theta=theta,
+        filters=filters,
+        compare_unit=cost.compare_unit,
+        filter_unit=cost.filter_unit,
+    )
 
-    per_part_work: list[float] = []
-    out_parts: list[list[DuplicatePair]] = []
-    comparisons = 0
-    seen: set[tuple[int, int]] = set()
-    for part in blocks.partitions:
-        work = 0.0
-        out: list[DuplicatePair] = []
-        for _, records in part:
-            members = list(records)
-            for i in range(len(members)):
-                for j in range(i + 1, len(members)):
-                    a, b = members[i], members[j]
-                    rid_a, rid_b = a.get(RID, i), b.get(RID, j)
-                    if rid_a == rid_b:
-                        continue
-                    pair_key = (min(rid_a, rid_b), max(rid_a, rid_b))
-                    if pair_key in seen:
-                        continue
-                    seen.add(pair_key)
-                    comparisons += 1
-                    total = 0.0
-                    for attr in attributes:
-                        sa, sb = str(a.get(attr, "")), str(b.get(attr, ""))
-                        work += (len(sa) + len(sb)) * compare_unit
-                        total += sim(sa, sb)
-                    if total / len(attributes) >= theta:
-                        if rid_a <= rid_b:
-                            out.append(DuplicatePair(rid_a, rid_b, a, b))
-                        else:
-                            out.append(DuplicatePair(rid_b, rid_a, b, a))
-        per_part_work.append(work)
-        out_parts.append(out)
-    cluster.charge_comparisons(comparisons)
+    # Prepare each distinct record object once, however many blocks it
+    # appears in (token blocking shares the same dict across groups).
+    prepared: dict[int, PreparedRecord] = {}
+    fallback_rid = _counter()
+
+    def prep(record: dict) -> PreparedRecord:
+        ref = id(record)
+        ready = prepared.get(ref)
+        if ready is None:
+            rid = record.get(RID, _MISSING)
+            if rid is _MISSING:
+                # No stable id: a per-object half-integer id.  Never equal
+                # to a real integer ``_rid`` (so a mixed dataset cannot
+                # alias a fallback record to a real one and silently drop
+                # its pairs), yet still totally ordered against them.
+                rid = next(fallback_rid) + 0.5
+            ready = join.prepare(rid, record)
+            prepared[ref] = ready
+        return ready
+
+    parts: list[list[tuple[Any, list[PreparedRecord]]]] = [
+        [(key, [prep(r) for r in records]) for key, records in part]
+        for part in blocks.partitions
+    ]
+    pair_parts, per_part_work = join.join_grouped_partitions(parts)
+    out_parts = [
+        [_to_pair(a, b) for a, b in part_pairs] for part_pairs in pair_parts
+    ]
+    cluster.charge_comparisons(join.stats.candidates)
+    cluster.charge_verified(join.stats.verified)
     cluster.record_op(
         "similarity:dedup", cluster.spread_over_nodes(per_part_work)
     )
     return Dataset(cluster, out_parts)
+
+
+def _to_pair(a: PreparedRecord, b: PreparedRecord) -> DuplicatePair:
+    """Kernel output (already rid-ordered) to the public pair form."""
+    return DuplicatePair(a.rid, b.rid, a.payload, b.payload)
 
 
 def _concat_terms(attributes: Sequence[str]) -> Callable[[dict], str]:
@@ -201,13 +230,16 @@ def _dedup_pairs_task(
     metric: str,
     theta: float,
     compare_unit: float,
-) -> tuple[list[DuplicatePair], int, float]:
-    """Worker task: merge shuffled blocks, then all-pairs similarity.
+    filter_unit: float,
+    filters: FilterConfig | None,
+) -> tuple[list[DuplicatePair], "JoinStats"]:
+    """Worker task: merge shuffled blocks, then kernel-verified similarity.
 
-    Mirrors ``pairwise_within_blocks`` record-for-record; with exact-key
-    blocking every unordered pair lives inside exactly one block (each
-    record has one key), so the partition-local ``seen`` set is equivalent
-    to the row path's global one.  Returns (pairs, comparisons, work).
+    Runs the same :class:`SimJoin` verification as the row path; with
+    exact-key blocking every unordered pair lives inside exactly one block
+    (each record has one key), so per-block verification is equivalent to
+    the row path's global pass and the output stays byte-identical.
+    Returns (pairs, partition JoinStats).
     """
     merged: dict[Any, list[dict]] = {}
     for key, records in part:
@@ -216,34 +248,27 @@ def _dedup_pairs_task(
             merged[key] = records
         else:
             existing.extend(records)
-    sim = get_metric(metric)
+    join = SimJoin(
+        attributes,
+        metric=metric,
+        theta=theta,
+        filters=filters,
+        compare_unit=compare_unit,
+        filter_unit=filter_unit,
+    )
     out: list[DuplicatePair] = []
-    comparisons = 0
-    work = 0.0
-    seen: set[tuple[int, int]] = set()
+    fallback_rid = _counter()
     for members in merged.values():
-        for i in range(len(members)):
-            for j in range(i + 1, len(members)):
-                a, b = members[i], members[j]
-                rid_a, rid_b = a.get(RID, i), b.get(RID, j)
-                if rid_a == rid_b:
-                    continue
-                pair_key = (min(rid_a, rid_b), max(rid_a, rid_b))
-                if pair_key in seen:
-                    continue
-                seen.add(pair_key)
-                comparisons += 1
-                total = 0.0
-                for attr in attributes:
-                    sa, sb = str(a.get(attr, "")), str(b.get(attr, ""))
-                    work += (len(sa) + len(sb)) * compare_unit
-                    total += sim(sa, sb)
-                if total / len(attributes) >= theta:
-                    if rid_a <= rid_b:
-                        out.append(DuplicatePair(rid_a, rid_b, a, b))
-                    else:
-                        out.append(DuplicatePair(rid_b, rid_a, b, a))
-    return out, comparisons, work
+        ready: list[PreparedRecord] = []
+        for record in members:
+            rid = record.get(RID, _MISSING)
+            if rid is _MISSING:
+                # Half-integer fallback: collision-proof against real
+                # integer rids but still comparable (see pairwise prep).
+                rid = next(fallback_rid) + 0.5
+            ready.append(join.prepare(rid, record))
+        out.extend(_to_pair(a, b) for a, b in join.join_members(ready))
+    return out, join.stats
 
 
 def deduplicate_parallel(
@@ -254,16 +279,17 @@ def deduplicate_parallel(
     theta: float = 0.8,
     block_on: BlockSpec = None,
     fmt: str = "memory",
+    filters: FilterConfig | None = None,
 ) -> Dataset:
     """Multi-process exact-key deduplication over real worker processes.
 
     The blocking combine runs as one task per round-robin partition, blocks
     travel through the real hash exchange, and the CPU-heavy pairwise
-    similarity phase runs as one task per merged partition — this is where
-    multiple processes genuinely pay off, since string similarity dominates
-    the workload.  Output is **byte-identical** — same pairs, same order —
-    to :func:`deduplicate` with the same exact-key ``block_on`` over
-    ``cluster.parallelize(records, ...)``.
+    similarity phase runs as one kernel task per merged partition — this is
+    where multiple processes genuinely pay off, since string similarity
+    dominates the workload.  Output is **byte-identical** — same pairs,
+    same order — to :func:`deduplicate` with the same exact-key
+    ``block_on`` and ``filters`` over ``cluster.parallelize(records, ...)``.
 
     Falls back to the serial row path when the blocking spec or records
     cannot cross a process boundary (lambdas, unpicklable rows).
@@ -277,7 +303,8 @@ def deduplicate_parallel(
     if not shippable:
         ds = cluster.parallelize(records, fmt=fmt, name="input")
         return deduplicate(
-            ds, list(attributes), metric=metric, theta=theta, block_on=block_on
+            ds, list(attributes), metric=metric, theta=theta, block_on=block_on,
+            filters=filters,
         )
 
     n = cluster.default_parallelism
@@ -332,18 +359,31 @@ def deduplicate_parallel(
     )
 
     compare_unit = cluster.cost_model.compare_unit
+    filter_unit = cluster.cost_model.filter_unit
     results = pool.run(
         _dedup_pairs_task,
         [
-            (part, list(attributes), metric, theta, compare_unit)
+            (
+                part,
+                list(attributes),
+                metric,
+                theta,
+                compare_unit,
+                filter_unit,
+                resolve_filters(filters),
+            )
             for part in exchanged
         ],
     )
-    out_parts = [pairs for pairs, _, _ in results]
-    cluster.charge_comparisons(sum(comparisons for _, comparisons, _ in results))
+    out_parts = [pairs for pairs, _ in results]
+    totals = JoinStats()
+    for _, stats in results:
+        totals.merge(stats)
+    cluster.charge_comparisons(totals.candidates)
+    cluster.charge_verified(totals.verified)
     cluster.record_op(
         "similarity:dedup",
-        cluster.spread_over_nodes([work for _, _, work in results]),
+        cluster.spread_over_nodes([stats.work for _, stats in results]),
         wall_seconds=pool.last_wall_seconds,
     )
     return Dataset(cluster, out_parts, op="dedup:parallel")
@@ -358,16 +398,18 @@ def deduplicate_columnar(
     block_on: BlockSpec = None,
     fmt: str = "memory",
     batch_size: int = 1024,
+    filters: FilterConfig | None = None,
 ) -> Dataset:
     """Vectorized exact-key deduplication: the column-batch fast path.
 
     The scan and the blocking phase run over column batches: block keys come
     straight from attribute columns (one fetch per attribute per batch), and
     blocks hold *row references* instead of record dicts until the pairwise
-    phase.  The similarity phase compares attribute columns element-wise and
-    materializes full records only for reported pairs (late
-    materialization).  Comparison counts, similarity maths, and the output
-    pairs match :func:`deduplicate` with ``block_on`` exact-key blocking.
+    phase.  The similarity phase prepares kernel records straight from the
+    attribute columns and materializes full rows only for reported pairs
+    (late materialization).  Candidate/verified counts, similarity maths,
+    and the output pairs match :func:`deduplicate` with ``block_on``
+    exact-key blocking and the same ``filters``.
 
     Falls back to the row path when records are not uniform dict rows or
     when ``block_on`` needs full rows and the data cannot be columnarized.
@@ -379,7 +421,8 @@ def deduplicate_columnar(
     if batches is None:  # heterogeneous rows: row-at-a-time fallback
         ds = cluster.parallelize(records, fmt=fmt, name="input")
         return deduplicate(
-            ds, list(attributes), metric=metric, theta=theta, block_on=block_on
+            ds, list(attributes), metric=metric, theta=theta, block_on=block_on,
+            filters=filters,
         )
 
     def _charge(name: str, per_part_rows: list[float], **kwargs: Any) -> None:
@@ -430,8 +473,15 @@ def deduplicate_columnar(
     )
 
     # Pairwise similarity within blocks, reading attribute columns directly.
-    sim = get_metric(metric)
-    compare_unit = cluster.cost_model.compare_unit
+    cost = cluster.cost_model
+    join = SimJoin(
+        attributes,
+        metric=metric,
+        theta=theta,
+        filters=filters,
+        compare_unit=cost.compare_unit,
+        filter_unit=cost.filter_unit,
+    )
     attr_cols = [
         {a: [str(v) for v in batch.column(a)] for a in attributes}
         if all(a in batch.columns for a in attributes)
@@ -439,41 +489,33 @@ def deduplicate_columnar(
               for a in attributes}
         for batch in batches
     ]
+    prepared: dict[tuple[int, int], PreparedRecord] = {}
+
+    def prep(ref: tuple[int, int]) -> PreparedRecord:
+        ready = prepared.get(ref)
+        if ready is None:
+            pa, ia = ref
+            terms = tuple(attr_cols[pa][a][ia] for a in attributes)
+            ready = join.prepare_terms(rid_cols[pa][ia], terms, payload=ref)
+            prepared[ref] = ready
+        return ready
+
     out_parts: list[list[DuplicatePair]] = []
     per_part_work: list[float] = []
-    comparisons = 0
-    seen: set[tuple[int, int]] = set()
+    stats = join.stats
     for groups in merged:
-        work = 0.0
+        work_before = stats.work
         out: list[DuplicatePair] = []
         for rows in groups.values():
-            for x in range(len(rows)):
-                for y in range(x + 1, len(rows)):
-                    (pa, ia), (pb, ib) = rows[x], rows[y]
-                    rid_a, rid_b = rid_cols[pa][ia], rid_cols[pb][ib]
-                    if rid_a == rid_b:
-                        continue
-                    pair_key = (min(rid_a, rid_b), max(rid_a, rid_b))
-                    if pair_key in seen:
-                        continue
-                    seen.add(pair_key)
-                    comparisons += 1
-                    total = 0.0
-                    for attr in attributes:
-                        sa = attr_cols[pa][attr][ia]
-                        sb = attr_cols[pb][attr][ib]
-                        work += (len(sa) + len(sb)) * compare_unit
-                        total += sim(sa, sb)
-                    if total / len(attributes) >= theta:
-                        left = _rebuild_row(batches[pa], ia, rid_cols[pa][ia], has_rids)
-                        right = _rebuild_row(batches[pb], ib, rid_cols[pb][ib], has_rids)
-                        if rid_a <= rid_b:
-                            out.append(DuplicatePair(rid_a, rid_b, left, right))
-                        else:
-                            out.append(DuplicatePair(rid_b, rid_a, right, left))
-        per_part_work.append(work)
+            ready = [prep(ref) for ref in rows]
+            for a, b in join.join_members(ready):
+                left = _rebuild_row(batches[a.payload[0]], a.payload[1], a.rid, has_rids)
+                right = _rebuild_row(batches[b.payload[0]], b.payload[1], b.rid, has_rids)
+                out.append(DuplicatePair(a.rid, b.rid, left, right))
+        per_part_work.append(stats.work - work_before)
         out_parts.append(out)
-    cluster.charge_comparisons(comparisons)
+    cluster.charge_comparisons(stats.candidates)
+    cluster.charge_verified(stats.verified)
     cluster.record_op("similarity:dedup", cluster.spread_over_nodes(per_part_work))
     return Dataset(cluster, out_parts, op="dedup:vectorized")
 

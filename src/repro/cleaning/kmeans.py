@@ -17,7 +17,7 @@ import random
 from typing import Any, Callable, Sequence
 
 from ..monoid.monoids import FunctionCompositionMonoid
-from .similarity import get_metric
+from .similarity import get_metric, levenshtein_similarity
 
 
 def reservoir_sample(items: Sequence[Any], k: int, seed: int = 13) -> list[Any]:
@@ -159,21 +159,61 @@ def hierarchical_cluster(
 
     Repeatedly merges the closest pair of clusters (a Min-monoid computation
     per iteration, as §4.3 sketches) until no pair is at least ``threshold``
-    similar.  Quadratic; intended for modest group sizes.
+    similar.  Quadratic; intended for modest group sizes.  For the
+    Levenshtein metric, member pairs whose kernel upper bound falls below
+    the current best linkage are skipped without running the DP — such
+    pairs can neither win the Min-monoid step nor change the merge
+    decision, so the clustering is identical to exhaustive evaluation.
     """
+    from .simjoin import EPSILON, ld_upper_bound
+    from .tokenize import qgrams
+
     term = term_func or (lambda x: str(x))
     sim = get_metric(metric)
+    bounded = sim is levenshtein_similarity
     clusters: list[list[Any]] = [[item] for item in items]
+    # Terms and sorted q-gram bags are stable across merge rounds: compute
+    # each once, not once per pair per round.
+    term_cache: dict[int, str] = {}
+    grams_cache: dict[str, tuple[str, ...]] = {}
 
-    def linkage(a: list[Any], b: list[Any]) -> float:
-        return max(sim(term(x), term(y)) for x in a for y in b)
+    def term_of(item: Any) -> str:
+        text = term_cache.get(id(item))
+        if text is None:
+            text = term(item)
+            term_cache[id(item)] = text
+        return text
+
+    def grams(text: str) -> tuple[str, ...]:
+        bag = grams_cache.get(text)
+        if bag is None:
+            bag = tuple(sorted(qgrams(text, 3)))
+            grams_cache[text] = bag
+        return bag
+
+    def linkage(a: list[Any], b: list[Any], floor: float) -> float:
+        best = 0.0
+        for x in a:
+            tx = term_of(x)
+            for y in b:
+                ty = term_of(y)
+                if (
+                    bounded
+                    and ld_upper_bound(tx, ty, 3, grams(tx), grams(ty))
+                    < floor - EPSILON
+                ):
+                    continue
+                s = sim(tx, ty)
+                if s > best:
+                    best = s
+        return best
 
     while len(clusters) > 1:
         best_pair = None
         best_sim = threshold
         for i in range(len(clusters)):
             for j in range(i + 1, len(clusters)):
-                s = linkage(clusters[i], clusters[j])
+                s = linkage(clusters[i], clusters[j], best_sim)
                 if s >= best_sim:
                     best_sim = s
                     best_pair = (i, j)

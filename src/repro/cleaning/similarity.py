@@ -14,6 +14,14 @@ from typing import Callable, Sequence
 
 SimilarityFunc = Callable[[str, str], float]
 
+# Margin for conservative *reject* decisions in theta-banded evaluation
+# (the band works in units of ``theta * n`` while the naive decision divides
+# by ``n``, so the two float paths are not term-for-term identical).
+# Accepts always re-use the exact naive expression, so the margin can only
+# cause slightly more exact evaluations — never a different decision.  This
+# is the single source of truth; the similarity-join kernel re-exports it.
+EPSILON = 1e-9
+
 
 def levenshtein_distance(a: str, b: str, max_distance: int | None = None) -> int:
     """Edit distance with an optional early-exit band.
@@ -174,15 +182,39 @@ def similar(metric: str | SimilarityFunc, a: str, b: str, theta: float) -> bool:
 
 
 def record_similarity(
-    left: dict, right: dict, attributes: Sequence[str], metric: str, theta: float
+    left: dict,
+    right: dict,
+    attributes: Sequence[str],
+    metric: str,
+    theta: float,
+    banded: bool = True,
 ) -> bool:
     """Average attribute-wise similarity of two records against a threshold.
 
     Dedup in the paper compares records on a set of attributes; records match
-    when the mean similarity over those attributes reaches ``theta``.
+    when the mean similarity over those attributes reaches ``theta``.  For
+    the Levenshtein metric each attribute's DP is banded (``banded=True``)
+    with the maximum distance the pair could tolerate while still reaching
+    ``theta`` on average — the same early exit the similarity-join kernel
+    uses; acceptance goes through the exact unbanded expression, so the
+    decision never differs from ``banded=False``.
     """
     if not attributes:
         raise ValueError("record similarity needs at least one attribute")
+    if banded:
+        # One pair, no blocking context: delegate the decision to the
+        # similarity-join kernel so the banding logic exists in one place.
+        # The count filter stays off — tokenizing both records for a single
+        # comparison would cost more than the DP it might skip.
+        from .simjoin import FilterConfig, SimJoin
+
+        join = SimJoin(
+            list(attributes),
+            metric=metric,
+            theta=theta,
+            filters=FilterConfig(count_filter=False, ownership=False),
+        )
+        return join.verify(join.prepare(0, left), join.prepare(1, right))
     func = get_metric(metric)
     total = 0.0
     for attr in attributes:

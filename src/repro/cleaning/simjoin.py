@@ -1,0 +1,515 @@
+"""Filtered similarity-join kernel: candidate pruning shared by all backends.
+
+The "Similarity" phase of Figs. 3 and 8 — pairwise metric evaluation inside
+blocks — dominates the measured runtime of every similarity-based cleaning
+operation.  This module is the one engine behind it: the row executor
+(:func:`~repro.cleaning.dedup.pairwise_within_blocks`), the multi-process
+worker tasks of ``deduplicate_parallel``, the columnar fast path, and term
+validation all route their candidate pairs through the same
+:class:`SimJoin` verifier, so filter semantics and comparison accounting
+cannot drift between backends.
+
+The kernel splits the join into *candidate generation* (blocking, done by
+the caller) and *verification* (done here), and prunes between the two:
+
+* **Preparation** — per-record normalized terms, lengths, and sorted q-gram
+  bags are computed once per record (:class:`PreparedRecord`), not once per
+  comparison as the previous inline loops did.
+* **Length filtering** — for Levenshtein similarity ``>= theta``, a pair
+  whose lengths differ by more than ``(1 - theta) * max_len`` cannot pass;
+  it is rejected without touching the metric.
+* **Count filtering** — one edit destroys at most ``q`` q-grams (Gravano et
+  al.), so a pair sharing fewer than ``max_len - q + 1 - d_max * q`` q-grams
+  cannot be within distance ``d_max``; rejected via a sorted-bag merge,
+  again without running the DP.
+* **Banding** — when the metric does run, the DP is banded with the maximum
+  distance the pair could tolerate and still reach ``theta`` on average,
+  so hopeless rows exit early.
+* **Ownership** — with overlapping blocks (token filtering, k-means with
+  ``delta > 0``) a pair sharing k blocks used to be generated k times and
+  deduplicated through an all-pairs ``seen`` set.  The kernel instead
+  assigns each pair to exactly one *owning* block — the least-frequent
+  shared block key — so every pair is verified exactly once and the global
+  ``seen`` set disappears.
+
+All filters are *lossless*: the accept decision is taken by the exact same
+floating-point expression (``sum(sim_i) / n >= theta``) as the naive loop,
+with conservatively generous reject bounds, so the output pair set is
+identical to unfiltered evaluation.  This is asserted by the Hypothesis
+property suite (``tests/property/test_simjoin_props.py``).
+
+Accounting: every candidate pair charges the cluster's ``comparisons``
+counter (the pre-kernel semantics — the number of unique pairs considered)
+plus a small ``filter_unit`` of simulated work; only pairs that survive the
+filters charge ``verified`` and the char-proportional ``compare_unit`` work.
+The ratio of the two counters is the observable pruning ratio reported by
+the Fig. 8 benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from .similarity import (
+    EPSILON,
+    get_metric,
+    levenshtein_distance,
+    levenshtein_similarity,
+)
+from .tokenize import qgrams
+
+# EPSILON (re-exported from .similarity, the single source of truth) is the
+# margin for conservative *reject* decisions that cannot mirror the naive
+# accept expression term-for-term (the edit-distance band works in units of
+# ``theta * n`` while the naive decision divides by ``n``).  Accepts always
+# go through the exact naive expression, so the margin can only make the
+# kernel verify slightly more pairs than strictly necessary — never change
+# the result.  1e-9 dwarfs accumulated float error (~1e-15) while staying
+# far below the 1/max_len granularity of Levenshtein similarity.
+
+
+@dataclass(frozen=True)
+class FilterConfig:
+    """Toggles for the candidate-pruning stages.
+
+    ``length_filter`` / ``count_filter`` reject pairs before the metric
+    runs; ``banding`` bounds the DP when it does run; ``ownership`` makes
+    overlapping blocks verify each pair exactly once.  ``q`` is the q-gram
+    width of the count filter (independent of any blocking q).  All four
+    default to on; :data:`NO_FILTERS` reproduces the naive pre-kernel
+    behaviour and is what the benchmarks compare against.
+    """
+
+    length_filter: bool = True
+    count_filter: bool = True
+    banding: bool = True
+    ownership: bool = True
+    q: int = 3
+
+    @property
+    def prunes(self) -> bool:
+        """Whether any pre-metric or in-metric pruning is enabled."""
+        return self.length_filter or self.count_filter or self.banding
+
+
+DEFAULT_FILTERS = FilterConfig()
+NO_FILTERS = FilterConfig(
+    length_filter=False, count_filter=False, banding=False, ownership=False
+)
+
+
+def resolve_filters(filters: FilterConfig | None) -> FilterConfig:
+    """``None`` means "the defaults" at every public call site."""
+    return DEFAULT_FILTERS if filters is None else filters
+
+
+class PreparedRecord:
+    """Per-record comparison state, computed once instead of per pair.
+
+    ``terms`` are the stringified comparison attributes; ``grams`` are
+    sorted q-gram bags for the count filter, built lazily on first use so
+    workloads that never reach the count filter never pay for
+    tokenization.  ``payload`` carries whatever the caller needs to
+    materialize an output pair (the record dict on the row paths, a
+    ``(partition, index)`` reference on the columnar path).
+    """
+
+    __slots__ = ("rid", "payload", "terms", "lengths", "_grams", "_q")
+
+    def __init__(self, rid: Any, terms: Sequence[str], payload: Any, q: int):
+        self.rid = rid
+        self.payload = payload
+        self.terms = tuple(terms)
+        self.lengths = tuple(len(t) for t in self.terms)
+        self._grams: tuple[tuple[str, ...], ...] | None = None
+        self._q = q
+
+    def grams(self, index: int) -> tuple[str, ...]:
+        if self._grams is None:
+            self._grams = tuple(
+                tuple(sorted(qgrams(term, self._q))) for term in self.terms
+            )
+        return self._grams[index]
+
+
+def sorted_overlap(a: Sequence[str], b: Sequence[str]) -> int:
+    """Bag-intersection size of two sorted sequences (two-pointer merge)."""
+    i = j = shared = 0
+    len_a, len_b = len(a), len(b)
+    while i < len_a and j < len_b:
+        x, y = a[i], b[j]
+        if x == y:
+            shared += 1
+            i += 1
+            j += 1
+        elif x < y:
+            i += 1
+        else:
+            j += 1
+    return shared
+
+
+@dataclass
+class JoinStats:
+    """Counters the kernel accumulates; the pruning ratio reads off these.
+
+    ``candidates`` is the number of unique pairs considered (the pre-kernel
+    ``comparisons`` semantics), ``verified`` the pairs that survived the
+    filters and ran the metric, ``metric_calls`` the per-attribute metric
+    evaluations, ``pairs`` the accepted duplicates, and ``work`` the
+    simulated cost (``filter_unit`` per candidate + ``compare_unit`` per
+    compared character).
+    """
+
+    candidates: int = 0
+    verified: int = 0
+    metric_calls: int = 0
+    pairs: int = 0
+    work: float = 0.0
+
+    def merge(self, other: "JoinStats") -> None:
+        self.candidates += other.candidates
+        self.verified += other.verified
+        self.metric_calls += other.metric_calls
+        self.pairs += other.pairs
+        self.work += other.work
+
+
+class SimJoin:
+    """Pair verifier for one ``(attributes, metric, theta)`` setting.
+
+    Construct once per join, :meth:`prepare` each record once, then
+    :meth:`verify` candidate pairs.  The length/count/banding filters only
+    engage for the Levenshtein metric (the only one with usable length and
+    q-gram bounds); other metrics fall back to direct evaluation, keeping
+    the decision identical either way.
+    """
+
+    def __init__(
+        self,
+        attributes: Sequence[str],
+        metric: str = "LD",
+        theta: float = 0.8,
+        filters: FilterConfig | None = None,
+        compare_unit: float = 0.0,
+        filter_unit: float = 0.0,
+    ):
+        self.attributes = list(attributes)
+        self.metric = metric
+        self.sim = get_metric(metric)
+        self.theta = float(theta)
+        self.filters = resolve_filters(filters)
+        # Length/count/banding bounds are only sound for Levenshtein
+        # similarity (1 - d/max_len); other metrics run unfiltered.
+        self.bounded = self.sim is levenshtein_similarity and self.filters.prunes
+        self.compare_unit = compare_unit
+        self.filter_unit = filter_unit
+        self.stats = JoinStats()
+
+    # ------------------------------------------------------------------ #
+    # Preparation
+    # ------------------------------------------------------------------ #
+    def prepare(self, rid: Any, record: dict, payload: Any = None) -> PreparedRecord:
+        """Prepare a dict record: stringify the comparison attributes once."""
+        terms = tuple(str(record.get(a, "")) for a in self.attributes)
+        return PreparedRecord(
+            rid, terms, record if payload is None else payload, self.filters.q
+        )
+
+    def prepare_terms(
+        self, rid: Any, terms: Sequence[str], payload: Any = None
+    ) -> PreparedRecord:
+        """Prepare from already-extracted attribute strings (columnar path)."""
+        return PreparedRecord(rid, terms, payload, self.filters.q)
+
+    # ------------------------------------------------------------------ #
+    # Filters
+    # ------------------------------------------------------------------ #
+    def upper_bound(self, a: PreparedRecord, b: PreparedRecord, index: int) -> float:
+        """A sound upper bound on ``sim(a.terms[index], b.terms[index])``.
+
+        Computed with the same float expression shape as the metric
+        (``1.0 - d / longest``), so ``sim <= bound`` holds in floating
+        point, not just in the reals.
+        """
+        len_a, len_b = a.lengths[index], b.lengths[index]
+        longest = len_a if len_a >= len_b else len_b
+        if longest == 0:
+            return 1.0
+        bound = 1.0
+        cfg = self.filters
+        if cfg.length_filter:
+            bound = 1.0 - (len_a - len_b if len_a >= len_b else len_b - len_a) / longest
+        if cfg.count_filter:
+            total_grams = longest - cfg.q + 1
+            if total_grams > 0:
+                shared = sorted_overlap(a.grams(index), b.grams(index))
+                # One edit affects at most q q-grams, so distance >=
+                # ceil((total_grams - shared) / q).
+                min_distance = -(-(total_grams - shared) // cfg.q)
+                if min_distance > 0:
+                    count_bound = 1.0 - min_distance / longest
+                    if count_bound < bound:
+                        bound = count_bound
+        return bound
+
+    # ------------------------------------------------------------------ #
+    # Verification
+    # ------------------------------------------------------------------ #
+    def verify(self, a: PreparedRecord, b: PreparedRecord) -> bool:
+        """Decide ``avg attr similarity >= theta`` — identically to the
+        naive per-attribute loop, but filtered.  Updates :attr:`stats`."""
+        stats = self.stats
+        stats.candidates += 1
+        n = len(self.attributes)
+        theta = self.theta
+        if not self.bounded:
+            return self._verify_naive(a, b, n, theta)
+
+        stats.work += self.filter_unit
+        cfg = self.filters
+        if cfg.length_filter or cfg.count_filter:
+            bounds = [self.upper_bound(a, b, i) for i in range(n)]
+            # Sound without a margin: each sim_i <= bounds[i] in floating
+            # point and float addition/division are monotone, so the naive
+            # total can only be smaller.
+            total_bound = 0.0
+            for bound in bounds:
+                total_bound += bound
+            if total_bound / n < theta:
+                return False
+        else:
+            bounds = [1.0] * n
+
+        # suffix[i] = sum of bounds for attributes i.. (what the not-yet
+        # compared attributes can still contribute).
+        suffix = [0.0] * (n + 1)
+        for i in range(n - 1, -1, -1):
+            suffix[i] = suffix[i + 1] + bounds[i]
+
+        stats.verified += 1
+        total = 0.0
+        for i in range(n):
+            term_a, term_b = a.terms[i], b.terms[i]
+            stats.work += (len(term_a) + len(term_b)) * self.compare_unit
+            stats.metric_calls += 1
+            if cfg.banding:
+                longest = max(a.lengths[i], b.lengths[i])
+                if longest == 0:
+                    total += 1.0
+                    continue
+                # Minimum similarity this attribute must contribute for the
+                # average to still be able to reach theta.
+                need = theta * n - total - suffix[i + 1]
+                if need > EPSILON:
+                    budget = int(math.ceil((1.0 - need + EPSILON) * longest))
+                    if budget < 0:
+                        return False
+                    distance = levenshtein_distance(
+                        term_a, term_b, max_distance=budget
+                    )
+                    if distance > budget:
+                        return False
+                    # Exact: the banded DP returns true distances within the
+                    # band, and this is the metric's own expression.
+                    total += 1.0 - distance / longest
+                    continue
+            total += self.sim(term_a, term_b)
+        passed = total / n >= theta
+        if passed:
+            stats.pairs += 1
+        return passed
+
+    def _verify_naive(self, a: PreparedRecord, b: PreparedRecord, n: int, theta: float) -> bool:
+        stats = self.stats
+        stats.verified += 1
+        total = 0.0
+        for i in range(n):
+            term_a, term_b = a.terms[i], b.terms[i]
+            stats.work += (len(term_a) + len(term_b)) * self.compare_unit
+            stats.metric_calls += 1
+            total += self.sim(term_a, term_b)
+        passed = total / n >= theta
+        if passed:
+            stats.pairs += 1
+        return passed
+
+    # ------------------------------------------------------------------ #
+    # Block joining
+    # ------------------------------------------------------------------ #
+    def join_members(
+        self, members: Sequence[PreparedRecord]
+    ) -> Iterator[tuple[PreparedRecord, PreparedRecord]]:
+        """All-pairs verification inside one non-overlapping block.
+
+        Yields accepted pairs ordered ``left.rid <= right.rid``, in the
+        same (i, j) visit order as the historical inline loops.
+        """
+        seen: set[tuple[Any, Any]] = set()
+        count = len(members)
+        for i in range(count):
+            a = members[i]
+            for j in range(i + 1, count):
+                b = members[j]
+                if a.rid == b.rid:
+                    continue
+                pair_key = (a.rid, b.rid) if a.rid <= b.rid else (b.rid, a.rid)
+                if pair_key in seen:
+                    continue
+                seen.add(pair_key)
+                if self.verify(a, b):
+                    yield (a, b) if a.rid <= b.rid else (b, a)
+
+    def join_grouped_partitions(
+        self,
+        parts: Sequence[Sequence[tuple[Any, Sequence[PreparedRecord]]]],
+    ) -> tuple[list[list[tuple[PreparedRecord, PreparedRecord]]], list[float]]:
+        """Verify every in-block pair across grouped partitions exactly once.
+
+        ``parts`` is the materialized block structure: per partition, a list
+        of ``(key, [PreparedRecord])`` groups (one group per key globally —
+        what the grouping stages produce).  With overlapping blocks, each
+        pair is verified only in its *owning* block: the shared key with the
+        fewest members (ties broken on the key's repr, so ownership is
+        deterministic across runs and processes).  Returns the accepted
+        pairs per partition plus the per-partition simulated work.
+        """
+        use_ownership = False
+        keys_of: dict[Any, set[Any]] = {}
+        block_size: dict[Any, int] = {}
+        if self.filters.ownership:
+            for part in parts:
+                for key, members in part:
+                    block_size[key] = block_size.get(key, 0) + len(members)
+                    for record in members:
+                        keys = keys_of.get(record.rid)
+                        if keys is None:
+                            keys_of[record.rid] = {key}
+                        elif key not in keys:
+                            keys.add(key)
+                            use_ownership = True
+
+        out_parts: list[list[tuple[PreparedRecord, PreparedRecord]]] = []
+        per_part_work: list[float] = []
+        # Without ownership the historical global seen set keeps overlapping
+        # blocks from re-verifying a pair (and exactly reproduces the naive
+        # engine); with ownership the per-block seen set below suffices.
+        global_seen: set[tuple[Any, Any]] | None = (
+            None if use_ownership or self.filters.ownership else set()
+        )
+        stats = self.stats
+        for part in parts:
+            work_before = stats.work
+            out: list[tuple[PreparedRecord, PreparedRecord]] = []
+            for key, members in part:
+                local_seen: set[tuple[Any, Any]] = set()
+                count = len(members)
+                for i in range(count):
+                    a = members[i]
+                    for j in range(i + 1, count):
+                        b = members[j]
+                        if a.rid == b.rid:
+                            continue
+                        pair_key = (
+                            (a.rid, b.rid) if a.rid <= b.rid else (b.rid, a.rid)
+                        )
+                        if pair_key in local_seen:
+                            continue
+                        local_seen.add(pair_key)
+                        if global_seen is not None:
+                            if pair_key in global_seen:
+                                continue
+                            global_seen.add(pair_key)
+                        elif use_ownership and not self._owns(key, a, b, keys_of, block_size):
+                            continue
+                        if self.verify(a, b):
+                            out.append((a, b) if a.rid <= b.rid else (b, a))
+            out_parts.append(out)
+            per_part_work.append(stats.work - work_before)
+        return out_parts, per_part_work
+
+    @staticmethod
+    def _owns(
+        key: Any,
+        a: PreparedRecord,
+        b: PreparedRecord,
+        keys_of: dict[Any, set[Any]],
+        block_size: dict[Any, int],
+    ) -> bool:
+        """Whether ``key`` is the owning block of pair ``(a, b)``.
+
+        The owner is the least-frequent shared key (smallest block), with
+        the key repr as a deterministic tie-break.
+        """
+        shared = keys_of[a.rid] & keys_of[b.rid]
+        if len(shared) == 1:
+            return True
+        size = block_size[key]
+        rank = repr(key)
+        for other in shared:
+            if other == key:
+                continue
+            other_size = block_size[other]
+            if other_size < size or (other_size == size and repr(other) < rank):
+                return False
+        return True
+
+
+# ---------------------------------------------------------------------- #
+# Single-pair helpers shared with term validation / clustering
+# ---------------------------------------------------------------------- #
+def ld_upper_bound(
+    a: str,
+    b: str,
+    q: int = 3,
+    grams_a=None,
+    grams_b=None,
+    use_length: bool = True,
+    use_count: bool = True,
+) -> float:
+    """Length and/or count upper bound on ``levenshtein_similarity(a, b)``.
+
+    ``use_length`` / ``use_count`` mirror the :class:`FilterConfig` toggles
+    so call sites outside the kernel apply exactly the configured bounds.
+    Callers that hold precomputed sorted q-gram bags pass them to skip
+    re-tokenization.  Float-consistent with the metric's own expression.
+    """
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 1.0
+    bound = 1.0
+    if use_length:
+        bound = 1.0 - abs(len(a) - len(b)) / longest
+    if use_count:
+        total_grams = longest - q + 1
+        if total_grams > 0:
+            if grams_a is None:
+                grams_a = tuple(sorted(qgrams(a, q)))
+            if grams_b is None:
+                grams_b = tuple(sorted(qgrams(b, q)))
+            min_distance = -(-(total_grams - sorted_overlap(grams_a, grams_b)) // q)
+            if min_distance > 0:
+                count_bound = 1.0 - min_distance / longest
+                if count_bound < bound:
+                    bound = count_bound
+    return bound
+
+
+def banded_ld_similarity(a: str, b: str, theta: float) -> float | None:
+    """Exact Levenshtein similarity when it can reach ``theta``, else None.
+
+    Bands the DP with the distance budget ``theta`` implies.  A returned
+    value is bit-identical to :func:`~repro.cleaning.similarity.
+    levenshtein_similarity`; ``None`` guarantees the true similarity is
+    below ``theta`` (same generous-ceiling argument as ``similar()``).
+    """
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 1.0
+    budget = int(math.ceil((1.0 - theta) * longest))
+    distance = levenshtein_distance(a, b, max_distance=budget)
+    if distance > budget:
+        return None
+    return 1.0 - distance / longest

@@ -23,7 +23,13 @@ from typing import Callable, Sequence
 from ..engine.cluster import Cluster
 from ..engine.dataset import Dataset
 from .kmeans import reservoir_sample
-from .similarity import get_metric
+from .similarity import get_metric, levenshtein_similarity
+from .simjoin import (
+    FilterConfig,
+    banded_ld_similarity,
+    ld_upper_bound,
+    resolve_filters,
+)
 from .tokenize import qgrams
 
 
@@ -50,12 +56,17 @@ def validate_terms(
     k: int = 10,
     delta: float = 0.0,
     seed: int = 13,
+    filters: FilterConfig | None = None,
 ) -> Dataset:
     """Validate one attribute of ``data`` against ``dictionary``.
 
     Returns a dataset of :class:`TermRepair`, one per distinct dirty term
     (terms already present in the dictionary verbatim are considered clean).
-    Suggestions are ordered by descending similarity.
+    Suggestions are ordered by descending similarity.  Candidate pairs are
+    verified through the similarity kernel's filters (``filters``, on by
+    default): length/count bounds reject hopeless pairs before the metric
+    runs and the Levenshtein DP is banded by the ``theta`` budget — the
+    repairs produced are identical to unfiltered evaluation.
     """
     term = term_func or (lambda r: str(r))
     cluster = data.cluster
@@ -78,7 +89,9 @@ def validate_terms(
     else:
         raise ValueError(f"unknown term-validation op {op!r}")
 
-    return _match_groups(cluster, data_groups, dict_groups, metric, theta)
+    return _match_groups(
+        cluster, data_groups, dict_groups, metric, theta, filters=filters
+    )
 
 
 def _token_group(terms: Dataset, q: int, name: str) -> Dataset:
@@ -145,19 +158,40 @@ def _match_groups(
     dict_groups: dict,
     metric: str,
     theta: float,
+    filters: FilterConfig | None = None,
 ) -> Dataset:
     """Join data groups with same-key dictionary groups; similarity check.
 
     The dictionary side is broadcast (it is small); candidates for a term are
-    the union of dictionary words sharing any group key with it.
+    the union of dictionary words sharing any group key with it.  Each
+    candidate (term, word) pair is charged once however many group keys the
+    pair shares; verification applies the kernel's length/count bounds and
+    the theta-banded Levenshtein DP, so only plausible candidates pay the
+    metric — with results identical to exhaustive scoring.
     """
     sim = get_metric(metric)
-    compare_unit = cluster.cost_model.compare_unit
+    cfg = resolve_filters(filters)
+    bounded = sim is levenshtein_similarity and cfg.prunes
+    cost = cluster.cost_model
+    compare_unit = cost.compare_unit
+    filter_unit = cost.filter_unit
 
     per_part_work: list[float] = []
-    out_parts: list[list[TermRepair]] = []
     comparisons = 0
+    verified = 0
     candidates_by_term: dict[str, set[str]] = {}
+    # Sorted q-gram bags, cached per distinct string: dictionary words recur
+    # across many terms' buckets, so tokenizing each once matters.
+    grams_cache: dict[str, tuple[str, ...]] = {}
+
+    def grams(text: str) -> tuple[str, ...]:
+        bag = grams_cache.get(text)
+        if bag is None:
+            bag = tuple(sorted(qgrams(text, cfg.q)))
+            grams_cache[text] = bag
+        return bag
+
+    suggestions_by_term: dict[str, list[tuple[float, str]]] = {}
     for part in data_groups.partitions:
         work = 0.0
         for key, terms in part:
@@ -166,30 +200,57 @@ def _match_groups(
                 continue
             for t in terms:
                 bucket = candidates_by_term.setdefault(t, set())
+                scored = suggestions_by_term.setdefault(t, [])
                 for w in dict_words:
-                    if w not in bucket:
-                        bucket.add(w)
+                    if w in bucket:
+                        continue
+                    bucket.add(w)
+                    comparisons += 1
+                    if bounded:
+                        work += filter_unit
+                        if (cfg.length_filter or cfg.count_filter) and (
+                            ld_upper_bound(
+                                t,
+                                w,
+                                cfg.q,
+                                grams(t) if cfg.count_filter else None,
+                                grams(w) if cfg.count_filter else None,
+                                use_length=cfg.length_filter,
+                                use_count=cfg.count_filter,
+                            )
+                            < theta
+                        ):
+                            continue
+                        verified += 1
                         work += (len(t) + len(w)) * compare_unit
-                        comparisons += 1
+                        if cfg.banding:
+                            s = banded_ld_similarity(t, w, theta)
+                            if s is None:
+                                continue
+                        else:
+                            s = sim(t, w)
+                    else:
+                        verified += 1
+                        work += (len(t) + len(w)) * compare_unit
+                        s = sim(t, w)
+                    if s >= theta:
+                        scored.append((s, w))
         per_part_work.append(work)
     cluster.charge_comparisons(comparisons)
+    cluster.charge_verified(verified)
     cluster.record_op(
         "similarity:termCheck", cluster.spread_over_nodes(per_part_work)
     )
 
     repairs: list[TermRepair] = []
-    for t, bucket in candidates_by_term.items():
-        scored = sorted(
-            ((sim(t, w), w) for w in bucket), key=lambda sw: (-sw[0], sw[1])
-        )
-        suggestions = tuple(w for s, w in scored if s >= theta)
-        if suggestions:
-            repairs.append(TermRepair(t, suggestions))
+    for t in candidates_by_term:
+        scored = sorted(suggestions_by_term[t], key=lambda sw: (-sw[0], sw[1]))
+        if scored:
+            repairs.append(TermRepair(t, tuple(w for _, w in scored)))
     parts: list[list[TermRepair]] = [[] for _ in range(cluster.default_parallelism)]
     for i, repair in enumerate(repairs):
         parts[i % len(parts)].append(repair)
-    out_parts = parts
-    return Dataset(cluster, out_parts)
+    return Dataset(cluster, parts)
 
 
 def _append(acc: list, value) -> list:

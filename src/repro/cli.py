@@ -116,6 +116,14 @@ def build_parser() -> argparse.ArgumentParser:
             ),
         )
         p.add_argument("--no-coalesce", action="store_true", help="disable §5 rewrites")
+        p.add_argument(
+            "--no-sim-filters",
+            action="store_true",
+            help=(
+                "disable the similarity kernel's candidate pruning "
+                "(banded edit-distance); results are identical, only slower"
+            ),
+        )
         p.add_argument("--metrics", action="store_true", help="print execution metrics")
         p.add_argument("sql", help="the CleanM query text (or @file to read one)")
 
@@ -142,6 +150,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         execution=args.execution,
         workers=args.workers,
         coalesce=not args.no_coalesce,
+        sim_filters=not args.no_sim_filters,
     )
     try:
         load_tables(args.table, db)

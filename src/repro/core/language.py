@@ -104,6 +104,11 @@ class CleanDB:
     coalesce:
         Enable the §5 operator-coalescing rewrite (on by default; the
         baselines turn it off).
+    sim_filters:
+        Band the similarity predicate's Levenshtein DP with the
+        theta-derived distance budget (the similarity kernel's early
+        exit).  On by default; results are identical either way — the
+        toggle exists so benchmarks can measure the filters' effect.
     q / k / delta:
         Blocking parameters: q-gram length for token filtering, number of
         centers and assignment slack for k-means.
@@ -119,6 +124,7 @@ class CleanDB:
         workers: int | None = None,
         coalesce: bool = True,
         use_codegen: bool = False,
+        sim_filters: bool = True,
         q: int = 3,
         k: int = 10,
         delta: float = 0.05,
@@ -140,6 +146,7 @@ class CleanDB:
             self.config = replace(self.config, execution=execution)
         self.coalesce = coalesce
         self.use_codegen = use_codegen
+        self.sim_filters = sim_filters
         self.q = q
         self.k = k
         self.delta = delta
@@ -330,7 +337,7 @@ class CleanDB:
             "in_dictionary": lambda term: str(term) in dictionary_terms,
             "rid_less": lambda a, b: _rid(a) < _rid(b),
             "similar_records": lambda metric, a, b, theta, attrs: record_similarity(
-                a, b, list(attrs), metric, theta
+                a, b, list(attrs), metric, theta, banded=self.sim_filters
             ),
             "pair": lambda a, b: (a, b),
             "freeze": _freeze_value,

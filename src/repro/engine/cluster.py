@@ -207,8 +207,14 @@ class Cluster:
         )
 
     def charge_comparisons(self, count: int) -> None:
-        """Count similarity/predicate comparisons (reported by benchmarks)."""
+        """Count candidate similarity/predicate comparisons (the pairs the
+        blocking phase produced; reported by benchmarks)."""
         self.metrics.comparisons += count
+
+    def charge_verified(self, count: int) -> None:
+        """Count comparisons that survived candidate pruning and actually
+        ran the metric; ``verified / comparisons`` is the pruning ratio."""
+        self.metrics.verified += count
 
     def node_of(self, partition_index: int) -> int:
         """The node a partition is placed on."""

@@ -20,6 +20,7 @@ class RunResult:
     output_count: int = 0
     shuffled_records: int = 0
     comparisons: int = 0
+    verified: int = 0
     grouping_time: float = 0.0
     similarity_time: float = 0.0
     reason: str = ""
@@ -28,6 +29,14 @@ class RunResult:
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+    @property
+    def pruning_ratio(self) -> float:
+        """Verified / candidate comparisons (1.0 when nothing was pruned —
+        or when the run performed no similarity comparisons at all)."""
+        if self.comparisons == 0:
+            return 1.0
+        return self.verified / self.comparisons
 
     @property
     def failed(self) -> bool:

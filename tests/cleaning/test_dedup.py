@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.cleaning import DuplicatePair, deduplicate, ensure_rids
+from repro.cleaning import (
+    NO_FILTERS,
+    DuplicatePair,
+    deduplicate,
+    ensure_rids,
+    register_metric,
+)
 from repro.engine import Cluster
 
 
@@ -126,6 +132,61 @@ class TestDeduplicate:
         # that only if groups split -- here names share "nam"/"ame" tokens so
         # instead verify the dedup pair canonicalization kept pairs unique.
         assert c_blocked.metrics.comparisons <= 1770
+
+
+class TestVerifiedComparisonCounts:
+    """Regression pins for the kernel's exactly-once verification.
+
+    With token blocking a pair sharing k q-grams lands in k blocks; the
+    kernel must charge it as one candidate and invoke the metric on it at
+    most once (least-frequent-token ownership), never k times.
+    """
+
+    def test_token_blocking_charges_each_pair_once(self, cluster):
+        # Three similar names sharing many 3-grams plus one outlier:
+        # exactly 3 unique candidate pairs, however many blocks overlap.
+        ds = cluster.parallelize(people())
+        deduplicate(ds, ["name"], op="token_filtering", theta=0.8).collect()
+        assert cluster.metrics.comparisons == 3
+        assert 0 < cluster.metrics.verified <= 3
+
+    def test_metric_invoked_once_per_pair_despite_shared_qgrams(self):
+        calls: list[tuple[str, str]] = []
+
+        def counting_metric(a: str, b: str) -> float:
+            calls.append((a, b) if a <= b else (b, a))
+            return 1.0 if a == b else 0.0
+
+        register_metric("counting_test_metric", counting_metric)
+        cluster = Cluster(num_nodes=4)
+        ds = cluster.parallelize(people())
+        deduplicate(
+            ds, ["name"], metric="counting_test_metric",
+            op="token_filtering", theta=0.9,
+        ).collect()
+        # Custom metrics get no LD bounds, so every unique candidate pair
+        # runs the metric exactly once (one comparison attribute) — the two
+        # "alice" names share ~9 3-grams, yet only 3 calls happen in total.
+        assert cluster.metrics.comparisons == 3
+        assert cluster.metrics.verified == 3
+        assert len(calls) == 3
+
+    def test_filters_never_change_the_pair_set(self, cluster):
+        records = people() * 3
+        results = {}
+        for label, filters in (("on", None), ("off", NO_FILTERS)):
+            c = Cluster(num_nodes=4)
+            ds = c.parallelize([dict(r) for r in records])
+            pairs = deduplicate(
+                ds, ["name"], op="token_filtering", theta=0.85, filters=filters
+            ).collect()
+            results[label] = {(p.left_id, p.right_id) for p in pairs}
+        assert results["on"] == results["off"]
+
+    def test_verified_never_exceeds_candidates(self, cluster):
+        ds = cluster.parallelize(people())
+        deduplicate(ds, ["name"], op="token_filtering", theta=0.95).collect()
+        assert cluster.metrics.verified <= cluster.metrics.comparisons
 
 
 class TestDuplicatePair:

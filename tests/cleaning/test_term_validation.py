@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cleaning import TermRepair, validate_terms
+from repro.cleaning import NO_FILTERS, TermRepair, validate_terms
 from repro.engine import Cluster
 
 DICTIONARY = ["john smith", "mary jones", "peter brown", "alice cooper"]
@@ -69,6 +69,47 @@ class TestKMeans:
     def test_unknown_op_rejected(self, cluster):
         with pytest.raises(ValueError):
             validate_terms(cluster.parallelize(["x"]), DICTIONARY, op="lsh")
+
+
+class TestBandedVerification:
+    """The kernel's banding must never change which repairs are produced —
+    including pairs whose similarity sits *exactly* on the threshold."""
+
+    def _run(self, cluster, terms, dictionary, theta, filters, q=2):
+        ds = cluster.parallelize(terms)
+        repairs = validate_terms(
+            ds, dictionary, theta=theta, q=q, filters=filters
+        ).collect()
+        return sorted((r.term, r.suggestions) for r in repairs)
+
+    def test_banded_agrees_with_unbanded_at_threshold_boundary(self):
+        # "abxd" vs "abcd": distance 1 over length 4 -> similarity exactly
+        # 0.75, right on theta; "abzz" -> 0.5, right below.
+        dictionary = ["abcd"]
+        terms = ["abxd", "abzz"]
+        banded = self._run(Cluster(4), terms, dictionary, 0.75, None)
+        naive = self._run(Cluster(4), terms, dictionary, 0.75, NO_FILTERS)
+        assert banded == naive
+        assert banded == [("abxd", ("abcd",))]
+
+    @pytest.mark.parametrize("theta", [0.5, 0.6, 0.75, 0.8, 0.9])
+    def test_banded_agrees_with_unbanded_everywhere(self, theta):
+        terms = ["jhon smith", "mary jonez", "peter brwn", "zzzz", "alice"]
+        banded = self._run(Cluster(4), terms, DICTIONARY, theta, None)
+        naive = self._run(Cluster(4), terms, DICTIONARY, theta, NO_FILTERS)
+        assert banded == naive
+
+    def test_filters_reduce_verified_but_not_candidates(self):
+        results = {}
+        for label, filters in (("on", None), ("off", NO_FILTERS)):
+            c = Cluster(4)
+            self._run(
+                c, ["jhon smith", "qqqq zzzz ffff"], DICTIONARY, 0.8, filters
+            )
+            results[label] = (c.metrics.comparisons, c.metrics.verified)
+        assert results["on"][0] == results["off"][0]
+        assert results["on"][1] < results["off"][1]
+        assert results["off"][0] == results["off"][1]
 
 
 class TestTermFunc:

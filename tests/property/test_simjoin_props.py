@@ -1,0 +1,132 @@
+"""Hypothesis: the filtered kernel equals naive all-pairs on every backend.
+
+The similarity kernel's filters (length, q-gram count, DP banding,
+ownership) must be *lossless*: for random record sets and thresholds, the
+duplicate pair set produced with every filter on equals the naive
+O(n²) all-pairs result — on the row, parallel (real worker processes), and
+columnar backends alike.
+"""
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cleaning import NO_FILTERS, deduplicate, deduplicate_columnar
+from repro.cleaning.dedup import deduplicate_parallel
+from repro.cleaning.similarity import levenshtein_similarity
+from repro.engine import Cluster
+
+WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "2"))
+
+ATTRS = ["a", "b"]
+THETAS = st.sampled_from([0.6, 0.8, 0.9])
+
+words = st.text(alphabet="abcde ", min_size=0, max_size=8)
+record_sets = st.lists(
+    st.fixed_dictionaries({"a": words, "b": words}), min_size=2, max_size=9
+)
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _one_block(record):
+    """Constant blocking key: every pair is a candidate (module-level so the
+    parallel backend can pickle it)."""
+    return 0
+
+
+def _with_rids(records):
+    return [dict(r, _rid=i) for i, r in enumerate(records)]
+
+
+def naive_pairs(records, theta):
+    """The unfiltered O(n²) reference: plain metric, plain average."""
+    out = set()
+    for i in range(len(records)):
+        for j in range(i + 1, len(records)):
+            total = sum(
+                levenshtein_similarity(str(records[i][a]), str(records[j][a]))
+                for a in ATTRS
+            )
+            if total / len(ATTRS) >= theta:
+                out.add((i, j))
+    return out
+
+
+def pair_ids(dataset):
+    return {(p.left_id, p.right_id) for p in dataset.collect()}
+
+
+@pytest.fixture(scope="module")
+def par_cluster():
+    """One worker pool for the whole module: process spawn is too costly to
+    repeat per Hypothesis example."""
+    with Cluster(num_nodes=3, workers=WORKERS) as cluster:
+        yield cluster
+
+
+@given(record_sets, THETAS)
+@SETTINGS
+def test_row_backend_matches_naive(records, theta):
+    records = _with_rids(records)
+    cluster = Cluster(num_nodes=3)
+    found = pair_ids(
+        deduplicate(
+            cluster.parallelize(records), ATTRS, theta=theta, block_on=_one_block
+        )
+    )
+    assert found == naive_pairs(records, theta)
+    assert cluster.metrics.verified <= cluster.metrics.comparisons
+
+
+@given(record_sets, THETAS)
+@SETTINGS
+def test_row_backend_token_blocking_matches_filterless(records, theta):
+    """Overlapping token blocks + ownership: same pairs as the naive kernel
+    configuration over the same blocking."""
+    records = _with_rids(records)
+    results = {}
+    for label, filters in (("on", None), ("off", NO_FILTERS)):
+        cluster = Cluster(num_nodes=3)
+        results[label] = pair_ids(
+            deduplicate(
+                cluster.parallelize([dict(r) for r in records]),
+                ATTRS,
+                theta=theta,
+                op="token_filtering",
+                filters=filters,
+            )
+        )
+    assert results["on"] == results["off"]
+
+
+@given(record_sets, THETAS)
+@SETTINGS
+def test_parallel_backend_matches_naive(par_cluster, records, theta):
+    records = _with_rids(records)
+    found = pair_ids(
+        deduplicate_parallel(
+            par_cluster, records, ATTRS, theta=theta, block_on=_one_block
+        )
+    )
+    assert found == naive_pairs(records, theta)
+
+
+@given(record_sets, THETAS)
+@SETTINGS
+def test_columnar_backend_matches_naive(records, theta):
+    records = _with_rids(records)
+    cluster = Cluster(num_nodes=3)
+    found = pair_ids(
+        deduplicate_columnar(
+            cluster, records, ATTRS, theta=theta, block_on=_one_block
+        )
+    )
+    assert found == naive_pairs(records, theta)
+    assert cluster.metrics.verified <= cluster.metrics.comparisons
