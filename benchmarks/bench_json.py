@@ -1,11 +1,13 @@
-"""Machine-readable benchmark emitter: ``BENCH_fig8.json``.
+"""Machine-readable benchmark emitters: ``BENCH_fig8.json`` / ``BENCH_dc.json``.
 
 ``RESULTS.txt`` renders the benchmark tables for humans; this module writes
-the Fig. 8 dedup numbers — measured seconds, candidate/verified comparison
+the headline numbers — measured seconds, candidate/verified comparison
 counts, and the pruning ratio — as JSON so the perf trajectory stays
-comparable across PRs without parsing text tables.  Each fig8 bench merges
-its own section into the file (read-modify-write), so running either test
-alone refreshes only its part.
+comparable across PRs without parsing text tables.  ``BENCH_fig8.json``
+carries the dedup similarity-kernel figures, ``BENCH_dc.json`` the
+denial-constraint scale-out figures.  Each bench merges its own section
+into its file (read-modify-write), so running one test alone refreshes
+only its part.
 """
 
 from __future__ import annotations
@@ -15,6 +17,7 @@ from pathlib import Path
 from typing import Any
 
 BENCH_PATH = Path(__file__).parent / "BENCH_fig8.json"
+BENCH_DC_PATH = Path(__file__).parent / "BENCH_dc.json"
 SCHEMA_VERSION = 1
 
 
@@ -37,20 +40,30 @@ def run_record(result: Any) -> dict:
     return record
 
 
-def emit_fig8(section: str, payload: dict) -> dict:
-    """Merge one figure's results into ``BENCH_fig8.json``; returns the file
+def emit_bench(path: Path, section: str, payload: dict) -> dict:
+    """Merge one figure's results into a bench JSON file; returns the file
     contents after the merge."""
     data: dict = {}
-    if BENCH_PATH.exists():
+    if path.exists():
         try:
-            data = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+            data = json.loads(path.read_text(encoding="utf-8"))
         except ValueError:
             data = {}
     if not isinstance(data, dict):
         data = {}
     data["schema"] = SCHEMA_VERSION
     data[section] = payload
-    BENCH_PATH.write_text(
+    path.write_text(
         json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
     return data
+
+
+def emit_fig8(section: str, payload: dict) -> dict:
+    """Merge one dedup figure's results into ``BENCH_fig8.json``."""
+    return emit_bench(BENCH_PATH, section, payload)
+
+
+def emit_dc(section: str, payload: dict) -> dict:
+    """Merge one DC figure's results into ``BENCH_dc.json``."""
+    return emit_bench(BENCH_DC_PATH, section, payload)

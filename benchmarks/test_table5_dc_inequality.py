@@ -4,7 +4,10 @@
 with a highly selective price filter.  Expected shape (paper Table 5): only
 CleanDB terminates, at every scale factor, with moderate growth; Spark SQL
 (cartesian) and BigDansing (min-max with excessive shuffling) blow the
-execution budget everywhere.
+execution budget everywhere.  CleanDB runs its current default DC plan —
+the banded kernel (equality prefix + sorted range scan) — which only
+widens the gap over the paper's matrix join; the banded-vs-matrix
+comparison itself lives in ``test_fig_dc_scaleout.py``.
 """
 
 from workloads import DC_BUDGET, NUM_NODES, SCALE_FACTORS, dc_price_cap, lineitem

@@ -3,13 +3,17 @@
 1. Check the functional dependency φ: orderkey, linenumber → suppkey on the
    noisy lineitem table, comparing the three systems' grouping strategies.
 2. Check the inequality rule ψ (no item out-discounts a more expensive
-   item) under an execution budget — only CleanDB's statistics-aware
-   matrix theta join survives.
+   item) under an execution budget — only CleanDB's planned DC kernel
+   (equality prefix + sorted band scan) survives.
+3. Repair the surviving violations by relaxation: cover the violation
+   hypergraph with a minimal set of cells and move each to the nearest
+   constraint-satisfying value.
 
 Run:  python examples/constraint_checking.py
 """
 
 from repro.baselines import BigDansingSystem, CleanDBSystem, SparkSQLSystem
+from repro.cleaning import find_violations, repair_dc_by_relaxation
 from repro.datasets import generate_lineitem, rule_phi, rule_psi
 from repro.evaluation import print_table
 
@@ -51,9 +55,19 @@ def main() -> None:
         )
     print_table("DC psi: t1.price < t2.price AND t1.discount > t2.discount", rows)
     print(
-        "\nOnly CleanDB's matrix theta join finishes: Spark SQL materializes a\n"
+        "\nOnly CleanDB's banded DC kernel finishes: Spark SQL materializes a\n"
         "cartesian product, BigDansing's min-max pruning cannot prune shuffled\n"
         "data and re-shuffles every partition pair (paper Table 5)."
+    )
+
+    # --- 3. repair by relaxation ---------------------------------------- #
+    repaired, report = repair_dc_by_relaxation(lineitem, psi)
+    print(
+        f"\nRepair by relaxation: {report.violations_found} violating pairs"
+        f" covered by {report.cover_size} cells"
+        f" ({report.cells_changed} moved, {report.cells_nulled} nulled,"
+        f" {report.rounds} round(s));"
+        f" residual violations: {len(find_violations(repaired, psi))}"
     )
 
 

@@ -35,10 +35,13 @@ from ..cleaning.dedup import deduplicate, deduplicate_columnar, deduplicate_para
 from ..cleaning.denial import (
     DenialConstraint,
     check_dc,
+    check_dc_columnar,
+    check_dc_parallel,
     check_fd,
     check_fd_columnar,
     check_fd_parallel,
 )
+from ..cleaning.repair import repair_dc_by_relaxation
 from ..cleaning.similarity import get_metric
 from ..cleaning.simjoin import FilterConfig
 from ..cleaning.term_validation import validate_terms
@@ -64,6 +67,9 @@ class System:
     name = "system"
     grouping = "aggregate"
     theta = "matrix"
+    # Denial-constraint strategy: the planned kernel ("banded") for CleanDB,
+    # the paper-attributed theta strategies for the baselines.
+    dc_strategy = "matrix"
 
     def __init__(
         self,
@@ -154,12 +160,59 @@ class System:
         records: Sequence[dict],
         constraint: DenialConstraint,
         fmt: str = "memory",
+        strategy: str | None = None,
     ) -> RunResult:
+        """General DC check with this system's strategy (overridable).
+
+        The ``banded`` strategy additionally follows the system's
+        execution backend: the columnar fast path under
+        ``execution="vectorized"`` and real worker processes under
+        ``execution="parallel"`` — the same seam the FD check and dedup
+        operations use.
+        """
+        chosen = strategy or self.dc_strategy
+
         def action(cluster: Cluster) -> list:
+            if chosen == "banded":
+                if self.execution == "vectorized":
+                    return check_dc_columnar(
+                        cluster, records, constraint, fmt=fmt
+                    ).collect()
+                if self.execution == "parallel":
+                    return check_dc_parallel(
+                        cluster, records, constraint, fmt=fmt
+                    ).collect()
             ds = cluster.parallelize(records, fmt=fmt, name="lineitem")
-            return check_dc(ds, constraint, strategy=self.theta).collect()
+            return check_dc(ds, constraint, strategy=chosen).collect()
 
         return self._run(action)
+
+    def repair_dc(
+        self,
+        records: Sequence[dict],
+        constraint: DenialConstraint,
+        fmt: str = "memory",
+        strategy: str | None = None,
+        max_rounds: int = 4,
+    ) -> RunResult:
+        """Detect violations on this system's backend, then repair them by
+        relaxation.  The detection run's metrics are returned with the
+        repair report attached under ``extra["repair"]``."""
+        result = self.check_dc(records, constraint, fmt=fmt, strategy=strategy)
+        if not result.ok:
+            return result
+        _, report = repair_dc_by_relaxation(
+            records, constraint, max_rounds=max_rounds
+        )
+        result.extra["repair"] = {
+            "violations_found": report.violations_found,
+            "cover_size": report.cover_size,
+            "cells_changed": report.cells_changed,
+            "cells_nulled": report.cells_nulled,
+            "rounds": report.rounds,
+            "residual_violations": report.residual_violations,
+        }
+        return result
 
     def deduplicate(
         self,
@@ -252,6 +305,9 @@ class CleanDBSystem(System):
     name = "CleanDB"
     grouping = "aggregate"
     theta = "matrix"
+    # CleanDB's DC plan is the statistics-aware banded kernel: equality
+    # prefix hash + most-selective-inequality range scan.
+    dc_strategy = "banded"
     planning_cost = 2000.0
 
     def _run(self, action: Callable[[Cluster], Any]) -> RunResult:
@@ -274,6 +330,7 @@ class SparkSQLSystem(System):
     name = "SparkSQL"
     grouping = "sort"
     theta = "cartesian"
+    dc_strategy = "cartesian"
 
     def validate_terms(
         self,
@@ -321,6 +378,7 @@ class BigDansingSystem(System):
     name = "BigDansing"
     grouping = "hash"
     theta = "minmax"
+    dc_strategy = "minmax"
 
     def check_fd(
         self,
@@ -345,12 +403,13 @@ class BigDansingSystem(System):
         records: Sequence[dict],
         constraint: DenialConstraint,
         fmt: str = "memory",
+        strategy: str | None = None,
     ) -> RunResult:
         if fmt not in ("memory", "csv"):
             return RunResult.unsupported(
                 self.name, reason=f"BigDansing cannot read {fmt} sources"
             )
-        return super().check_dc(records, constraint, fmt=fmt)
+        return super().check_dc(records, constraint, fmt=fmt, strategy=strategy)
 
     def deduplicate(
         self,

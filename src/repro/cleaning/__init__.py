@@ -29,15 +29,28 @@ from .domain import (
     check_domains,
     violation_summary,
 )
+from .dc_kernel import (
+    DCPlan,
+    DCStats,
+    find_violations,
+    null_safe_compare,
+    parse_dc,
+    plan_dc,
+)
 from .denial import (
+    DC_STRATEGIES,
     DenialConstraint,
     FDViolation,
     SingleFilter,
     TuplePredicate,
     check_dc,
+    check_dc_banded,
+    check_dc_columnar,
+    check_dc_parallel,
     check_fd,
     check_fd_columnar,
     check_fd_parallel,
+    self_theta_join,
 )
 from .kmeans import (
     assign_to_centers,
@@ -59,7 +72,12 @@ from .similarity import (
     register_metric,
     similar,
 )
-from .repair import apply_term_repairs, repair_fd_by_majority
+from .repair import (
+    DCRepairReport,
+    apply_term_repairs,
+    repair_dc_by_relaxation,
+    repair_fd_by_majority,
+)
 from .simjoin import (
     DEFAULT_FILTERS,
     NO_FILTERS,
@@ -88,7 +106,11 @@ __all__ = [
     "deduplicate_parallel", "ensure_rids",
     "pairwise_within_blocks",
     "DenialConstraint", "FDViolation", "SingleFilter", "TuplePredicate",
-    "check_dc", "check_fd", "check_fd_columnar", "check_fd_parallel",
+    "DC_STRATEGIES", "DCPlan", "DCStats",
+    "check_dc", "check_dc_banded", "check_dc_columnar", "check_dc_parallel",
+    "check_fd", "check_fd_columnar", "check_fd_parallel",
+    "find_violations", "null_safe_compare", "parse_dc", "plan_dc",
+    "self_theta_join",
     "DomainRule", "DomainViolation", "InRange", "InSet", "Matches", "NotNull",
     "Satisfies", "check_domains", "violation_summary",
     "assign_to_centers", "fixed_step_centers", "hierarchical_cluster",
@@ -98,7 +120,8 @@ __all__ = [
     "levenshtein_similarity", "record_similarity", "register_metric", "similar",
     "UnionFind", "close_pairs", "elect_representatives", "entity_clusters",
     "fuse_duplicates",
-    "apply_term_repairs", "repair_fd_by_majority",
+    "DCRepairReport", "apply_term_repairs", "repair_dc_by_relaxation",
+    "repair_fd_by_majority",
     "DEFAULT_FILTERS", "NO_FILTERS", "FilterConfig", "JoinStats",
     "PreparedRecord", "SimJoin", "banded_ld_similarity", "ld_upper_bound",
     "TermRepair", "validate_terms",

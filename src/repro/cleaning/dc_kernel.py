@@ -1,0 +1,605 @@
+"""Denial-constraint kernel: null-safe predicates and the banded DC plan.
+
+General denial constraints ``∀ t1,t2 ¬(p1 ∧ ... ∧ pn)`` are the one CleanM
+operation family (§3.1, rule ψ of §2) whose historical execution was a
+black-box theta join: every strategy handed an opaque pair predicate to
+``theta_join_*`` and paid for the full cross product.  This module is the
+shared engine that replaces that inner loop for all three physical
+backends — the row path (:func:`~repro.cleaning.denial.check_dc` with
+``strategy="banded"``), the multi-process worker tasks of
+``check_dc_parallel`` (:mod:`repro.physical.parallel_exec`), and the
+columnar fast path of ``check_dc_columnar`` (selection-vector filtering in
+:mod:`repro.physical.vectorized`) — mirroring how the similarity-join
+kernel (:mod:`repro.cleaning.simjoin`) unified the dedup backends.
+
+The planner (:func:`plan_dc`) splits the constraint's predicate
+conjunction:
+
+* **Equality prefix** — ``t1.a == t2.b`` predicates become a
+  hash-partitioned equi-prefix: the right side is grouped by its equality
+  key tuple, and each left tuple probes exactly one group, so pairs that
+  disagree on any equality attribute are never generated.
+* **Band predicate** — one ordered inequality (``<``, ``<=``, ``>``,
+  ``>=``) becomes a sort-banded range scan: each group's members are
+  sorted on the right-hand band attribute and a left tuple's candidates
+  are the ``bisect`` range satisfying the inequality — the sorted
+  counterpart of BigDansing's min-max pruning, but exact.  The planner
+  picks the *most selective* ordered predicate using a small statistics
+  sample (the "spends more effort to obtain global data statistics"
+  behaviour of §8.3), not blindly the first one.
+* **Residual predicates** — everything else (``!=``, further
+  inequalities) is verified per candidate on pre-extracted value vectors.
+
+**Null semantics** are three-valued, SQL-style: a comparison with a
+missing or ``None`` operand never *satisfies* a DC predicate (so a null
+can never take part in a violation), instead of raising ``TypeError`` the
+way raw ``None < 5`` does.  This applies to every operator, including
+``==`` (``NULL = NULL`` is unknown) — see :func:`null_safe_compare`.
+
+**Exactly-once pairs.**  Violating pairs are emitted with a stable
+row-id rule rather than object identity (which breaks once records are
+pickled across worker processes): self pairs compare equal rids, and when
+*both* orders of a pair violate (symmetric constraints), only the
+rid-ordered one is emitted — so the union over partitions and backends
+reports each unordered violating pair exactly once.
+
+Accounting mirrors the similarity kernel's split: ``candidates`` is the
+logical pair universe the pushed-down cartesian plan would examine
+(filtered left × full right), ``examined`` the pairs the banded scan
+actually touched; they flow into the cluster's ``comparisons`` /
+``verified`` counters and their ratio is the observable pruning ratio.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, NamedTuple, Sequence
+
+RID = "_rid"
+
+#: Raw comparison table.  Never call these on possibly-null operands —
+#: go through :func:`null_safe_compare`.
+_RAW_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+#: Operators whose banded range scan the planner can drive.
+ORDERED_OPS = ("<", "<=", ">", ">=")
+
+
+def _is_null(value: Any) -> bool:
+    """Null for banding purposes: ``None`` or NaN.
+
+    A NaN can never satisfy ``==`` or an ordered predicate (every
+    comparison is False), but it *corrupts* a sorted list's bisect
+    invariants — so the index and the probes treat it exactly like a
+    null: no candidates.
+    """
+    return value is None or value != value
+
+
+def rid_after(a: Any, b: Any) -> bool:
+    """Total order over row ids: ``a`` sorts after ``b``.
+
+    Native comparison when the ids are comparable (ints, the usual case);
+    mixed types — e.g. string ``_rid`` rows next to positionally-numbered
+    id-less rows — fall back to a ``(type name, repr)`` key, so the
+    exactly-once pair rule stays deterministic instead of raising
+    ``TypeError``.
+    """
+    try:
+        return a > b
+    except TypeError:
+        return (type(a).__name__, repr(a)) > (type(b).__name__, repr(b))
+
+
+def null_safe_compare(op: str, left: Any, right: Any) -> bool:
+    """Three-valued comparison: a ``None`` operand never satisfies.
+
+    DC predicates select *violations*; under SQL three-valued logic an
+    unknown comparison cannot prove a violation, so it evaluates to
+    ``False`` here.  This also makes ordered comparisons total — the raw
+    ``None < 5`` would raise ``TypeError`` on exactly the dirty rows a
+    cleaning system must survive.
+    """
+    if left is None or right is None:
+        return False
+    return _RAW_OPS[op](left, right)
+
+
+@dataclass(frozen=True)
+class TuplePredicate:
+    """A cross-tuple predicate ``t1.left_attr OP t2.right_attr``."""
+
+    left_attr: str
+    op: str
+    right_attr: str
+
+    def holds(self, t1: dict, t2: dict) -> bool:
+        return null_safe_compare(
+            self.op, t1.get(self.left_attr), t2.get(self.right_attr)
+        )
+
+
+@dataclass(frozen=True)
+class SingleFilter:
+    """A single-tuple filter ``t1.attr OP constant`` (e.g. ψ's price < X)."""
+
+    attr: str
+    op: str
+    value: Any
+
+    def holds(self, t: dict) -> bool:
+        return null_safe_compare(self.op, t.get(self.attr), self.value)
+
+
+@dataclass(frozen=True)
+class DenialConstraint:
+    """``∀ t1, t2  ¬(predicates ∧ t1-filters)``.
+
+    ``predicates`` relate a pair of tuples; ``left_filters`` restrict t1
+    before the join (the 0.01 % price selection of rule ψ).
+    """
+
+    predicates: tuple[TuplePredicate, ...]
+    left_filters: tuple[SingleFilter, ...] = field(default=())
+    name: str = "dc"
+
+    def violated_by(self, t1: dict, t2: dict) -> bool:
+        """Whether the ordered pair ``(t1, t2)`` violates the constraint.
+
+        Self pairs are skipped by *stable row id* (``_rid``) when both
+        records carry one — object identity breaks after pickling through
+        the parallel backend, where the same logical row arrives as two
+        distinct dict objects — with identity as the fallback for id-less
+        records.
+        """
+        if t1 is t2:
+            return False
+        rid1, rid2 = t1.get(RID), t2.get(RID)
+        if rid1 is not None and rid1 == rid2:
+            return False
+        if not all(f.holds(t1) for f in self.left_filters):
+            return False
+        return all(p.holds(t1, t2) for p in self.predicates)
+
+
+def parse_dc(
+    rule: str, where: str = "", name: str = "dc"
+) -> DenialConstraint:
+    """Parse a textual DC into a :class:`DenialConstraint` (CLI surface).
+
+    ``rule`` is a conjunction of cross-tuple clauses ``t1.attr OP t2.attr``
+    joined by ``and`` (or ``;``); ``where`` is a conjunction of
+    single-tuple clauses ``t1.attr OP constant``.  Example::
+
+        parse_dc("t1.price < t2.price and t1.discount > t2.discount",
+                 where="t1.price < 1000")
+    """
+    predicates = tuple(
+        _parse_tuple_clause(clause) for clause in _split_clauses(rule)
+    )
+    filters = tuple(
+        _parse_filter_clause(clause) for clause in _split_clauses(where)
+    )
+    if not predicates:
+        raise ValueError("a denial constraint needs at least one predicate")
+    return DenialConstraint(predicates=predicates, left_filters=filters, name=name)
+
+
+def _split_clauses(text: str) -> list[str]:
+    parts: list[str] = []
+    # Conjunctions join with "and" (any case) or ";".
+    for chunk in re.split(r";|\band\b", text, flags=re.IGNORECASE):
+        chunk = chunk.strip()
+        if chunk:
+            parts.append(chunk)
+    return parts
+
+
+def _split_operator(clause: str) -> tuple[str, str, str]:
+    # Longest operators first so "<=" is not read as "<".
+    for op in ("<=", ">=", "==", "!=", "<", ">"):
+        if op in clause:
+            left, right = clause.split(op, 1)
+            return left.strip(), op, right.strip()
+    raise ValueError(f"no comparison operator in DC clause {clause!r}")
+
+
+def _strip_role(term: str, role: str) -> str:
+    prefix = role + "."
+    if not term.startswith(prefix):
+        raise ValueError(f"expected {prefix}ATTR in DC clause, got {term!r}")
+    attr = term[len(prefix):]
+    # A non-identifier here means the clause was misparsed (e.g. an
+    # unrecognized conjunction swallowed into the attribute name); fail
+    # loudly instead of silently matching nothing.
+    if not attr.isidentifier():
+        raise ValueError(f"invalid attribute name {attr!r} in DC clause")
+    return attr
+
+
+def _parse_tuple_clause(clause: str) -> TuplePredicate:
+    left, op, right = _split_operator(clause)
+    return TuplePredicate(_strip_role(left, "t1"), op, _strip_role(right, "t2"))
+
+
+def _parse_filter_clause(clause: str) -> SingleFilter:
+    left, op, right = _split_operator(clause)
+    attr = _strip_role(left, "t1")
+    try:
+        value: Any = int(right)
+    except ValueError:
+        try:
+            value = float(right)
+        except ValueError:
+            value = right.strip("'\"")
+    return SingleFilter(attr, op, value)
+
+
+# ---------------------------------------------------------------------- #
+# Planning
+# ---------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class DCPlan:
+    """A denial constraint split for partition-aware execution.
+
+    ``eq_idx`` indexes the equality predicates (the hash-partitioned
+    equi-prefix), ``band_idx`` the one ordered predicate driving the
+    sorted range scan (``None`` when the constraint has none), and
+    ``residual_idx`` everything verified per candidate.  Indices refer to
+    ``constraint.predicates``; the plan itself is picklable and ships to
+    worker processes unchanged.
+    """
+
+    constraint: DenialConstraint
+    eq_idx: tuple[int, ...]
+    band_idx: int | None
+    residual_idx: tuple[int, ...]
+
+    @property
+    def band(self) -> TuplePredicate | None:
+        if self.band_idx is None:
+            return None
+        return self.constraint.predicates[self.band_idx]
+
+    def describe(self) -> str:
+        preds = self.constraint.predicates
+        eq = ", ".join(f"{preds[i].left_attr}=={preds[i].right_attr}" for i in self.eq_idx)
+        band = (
+            f"{preds[self.band_idx].left_attr} {preds[self.band_idx].op} "
+            f"{preds[self.band_idx].right_attr}"
+            if self.band_idx is not None
+            else "-"
+        )
+        return f"DCPlan(eq=[{eq}], band={band}, residual={len(self.residual_idx)})"
+
+
+def plan_dc(
+    constraint: DenialConstraint, records: Sequence[dict] = (), sample: int = 64
+) -> DCPlan:
+    """Split a DC into equi-prefix, band predicate, and residuals.
+
+    Convenience wrapper over :func:`plan_dc_entries` for callers holding
+    plain dict records (tests, the repair engine); the engine backends
+    plan from the entries they extract anyway.
+    """
+    entries = [
+        extract_record(constraint, r.get(RID, i), r, payload=i)
+        for i, r in enumerate(records)
+    ]
+    return plan_dc_entries(constraint, entries, sample=sample)
+
+
+def plan_dc_entries(
+    constraint: DenialConstraint,
+    entries: Sequence["DCRecord"] = (),
+    sample: int = 64,
+) -> DCPlan:
+    """Split a DC into equi-prefix, band predicate, and residuals.
+
+    When ``entries`` are provided, the band predicate is chosen by
+    *estimated selectivity*: for each ordered predicate, a deterministic
+    every-k-th sample of left values is probed against the sorted right
+    values and the predicate whose ranges would examine the fewest
+    candidates wins (ties fall to declaration order).  Without entries
+    the first ordered predicate is used.  Deterministic given the entry
+    order, so backends that extract in the same partition-major order
+    always pick the same plan.
+    """
+    preds = constraint.predicates
+    eq_idx = tuple(i for i, p in enumerate(preds) if p.op == "==")
+    ordered = [i for i, p in enumerate(preds) if p.op in ORDERED_OPS]
+    band_idx: int | None = None
+    if ordered:
+        band_idx = ordered[0]
+        if len(ordered) > 1 and entries:
+            band_idx = _most_selective(preds, ordered, entries, sample)
+    residual_idx = tuple(
+        i for i in range(len(preds)) if i not in eq_idx and i != band_idx
+    )
+    return DCPlan(
+        constraint=constraint,
+        eq_idx=eq_idx,
+        band_idx=band_idx,
+        residual_idx=residual_idx,
+    )
+
+
+def _most_selective(
+    preds: Sequence[TuplePredicate],
+    ordered: list[int],
+    entries: Sequence["DCRecord"],
+    sample: int,
+) -> int:
+    """The ordered predicate whose band ranges examine the fewest pairs."""
+    best_idx = ordered[0]
+    best_cost = None
+    step = max(1, len(entries) // sample)
+    probes = entries[::step]
+    for idx in ordered:
+        try:
+            values = sorted(
+                v for e in entries if not _is_null(v := e.rvals[idx])
+            )
+        except TypeError:  # mixed-type column: unsortable, cannot band on it
+            continue
+        cost = 0
+        for probe in probes:
+            left_value = probe.lvals[idx]
+            if _is_null(left_value):
+                continue
+            try:
+                lo, hi = band_range(preds[idx].op, values, left_value)
+            except TypeError:
+                cost = None
+                break
+            cost += hi - lo
+        if cost is None:
+            continue
+        if best_cost is None or cost < best_cost:
+            best_cost = cost
+            best_idx = idx
+    return best_idx
+
+
+# ---------------------------------------------------------------------- #
+# Per-record extraction
+# ---------------------------------------------------------------------- #
+
+class DCRecord(NamedTuple):
+    """One record's pre-extracted comparison state (both join roles).
+
+    ``fvals`` are the left-filter attribute values, ``lvals`` /
+    ``rvals`` the per-predicate left/right attribute values (in
+    ``constraint.predicates`` order), ``payload`` whatever the backend
+    needs to materialize an output pair (the record dict on the row
+    paths, a ``(partition, physical_row)`` reference on the columnar
+    path).  Plain tuples, so a :class:`DCRecord` crosses process
+    boundaries unchanged.
+    """
+
+    rid: Any
+    fvals: tuple
+    lvals: tuple
+    rvals: tuple
+    payload: Any
+
+
+def extract_record(
+    constraint: DenialConstraint, rid: Any, record: dict, payload: Any = None
+) -> DCRecord:
+    """Extract one dict record's comparison vectors (row/parallel paths)."""
+    return DCRecord(
+        rid=rid,
+        fvals=tuple(record.get(f.attr) for f in constraint.left_filters),
+        lvals=tuple(record.get(p.left_attr) for p in constraint.predicates),
+        rvals=tuple(record.get(p.right_attr) for p in constraint.predicates),
+        payload=record if payload is None else payload,
+    )
+
+
+def left_passes(constraint: DenialConstraint, entry: DCRecord) -> bool:
+    """Whether the entry's t1 role survives the single-tuple filters."""
+    return all(
+        null_safe_compare(f.op, value, f.value)
+        for f, value in zip(constraint.left_filters, entry.fvals)
+    )
+
+
+def pair_violates(plan: DCPlan, t1: DCRecord, t2: DCRecord) -> bool:
+    """Full ordered-pair check on extracted vectors (used for the reverse
+    order of symmetric pairs and by the oracle)."""
+    if t1.rid == t2.rid:
+        return False
+    if not left_passes(plan.constraint, t1):
+        return False
+    return all(
+        null_safe_compare(p.op, t1.lvals[i], t2.rvals[i])
+        for i, p in enumerate(plan.constraint.predicates)
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Index build + banded scan
+# ---------------------------------------------------------------------- #
+
+@dataclass
+class DCStats:
+    """Counters the kernel accumulates (the simjoin ``JoinStats`` analogue).
+
+    ``candidates`` is the logical pair universe (filtered left × full
+    right — exactly what the pushed-down cartesian plan charges), so the
+    pruning ratio ``examined / candidates`` is comparable across
+    strategies.  ``examined`` counts pairs the banded scan touched (these
+    charge the cluster's ``verified`` counter), ``pairs`` the emitted
+    violations, ``work`` the simulated cost.
+    """
+
+    candidates: int = 0
+    examined: int = 0
+    pairs: int = 0
+    work: float = 0.0
+
+    def merge(self, other: "DCStats") -> None:
+        self.candidates += other.candidates
+        self.examined += other.examined
+        self.pairs += other.pairs
+        self.work += other.work
+
+
+def build_dc_index(
+    entries: Iterable[DCRecord], plan: DCPlan
+) -> dict[tuple, tuple[list | None, list[DCRecord]]]:
+    """Group + sort the right side for probing.
+
+    Entries whose equality key or band value contains ``None`` are
+    excluded outright — a null can never satisfy the corresponding
+    predicate, so they have no candidates.  Each group holds its members
+    sorted by band value (stable, so ties keep input order and every
+    backend builds the identical index) alongside the extracted value
+    list for :func:`bisect`.  A group whose band values are mutually
+    incomparable (mixed types) keeps insertion order with a ``None``
+    value list; the scan then checks the band predicate explicitly, so
+    planning can never change the answer.
+    """
+    band_idx = plan.band_idx
+    groups: dict[tuple, list[DCRecord]] = {}
+    for entry in entries:
+        key = tuple(entry.rvals[i] for i in plan.eq_idx)
+        if any(_is_null(k) for k in key):
+            continue
+        if band_idx is not None and _is_null(entry.rvals[band_idx]):
+            continue
+        groups.setdefault(key, []).append(entry)
+
+    index: dict[tuple, tuple[list | None, list[DCRecord]]] = {}
+    for key, members in groups.items():
+        if band_idx is None:
+            index[key] = (None, members)
+            continue
+        try:
+            members = sorted(members, key=lambda e: e.rvals[band_idx])
+            values = [e.rvals[band_idx] for e in members]
+        except TypeError:
+            index[key] = (None, members)
+            continue
+        index[key] = (values, members)
+    return index
+
+
+def band_range(op: str, values: list, left_value: Any) -> tuple[int, int]:
+    """The half-open index range of sorted ``values`` satisfying
+    ``left_value OP value``."""
+    if op == "<":
+        return bisect_right(values, left_value), len(values)
+    if op == "<=":
+        return bisect_left(values, left_value), len(values)
+    if op == ">":
+        return 0, bisect_left(values, left_value)
+    if op == ">=":
+        return 0, bisect_right(values, left_value)
+    raise ValueError(f"not an ordered operator: {op!r}")
+
+
+def scan_partition(
+    left_entries: Sequence[DCRecord],
+    index: dict[tuple, tuple[list | None, list[DCRecord]]],
+    plan: DCPlan,
+    stats: DCStats,
+    compare_unit: float = 0.0,
+) -> list[tuple[DCRecord, DCRecord]]:
+    """Probe one left partition against the index; returns violating pairs.
+
+    Left entries are assumed to have passed the single-tuple filters.
+    Candidates come from the equality group's band range; residual
+    predicates run on the extracted vectors.  When both orders of a pair
+    violate, only the rid-ordered one is emitted (see module docstring),
+    so partitions never double-report.
+    """
+    constraint = plan.constraint
+    preds = constraint.predicates
+    band_idx = plan.band_idx
+    band_op = preds[band_idx].op if band_idx is not None else None
+    residual = [(i, preds[i].op) for i in plan.residual_idx]
+    out: list[tuple[DCRecord, DCRecord]] = []
+    for t1 in left_entries:
+        key = tuple(t1.lvals[i] for i in plan.eq_idx)
+        if any(_is_null(k) for k in key):
+            continue
+        group = index.get(key)
+        if group is None:
+            continue
+        values, members = group
+        check_band = False
+        if band_idx is not None:
+            left_value = t1.lvals[band_idx]
+            if _is_null(left_value):
+                continue
+            if values is None:
+                lo, hi = 0, len(members)  # unsortable group: verify per pair
+                check_band = True
+            else:
+                try:
+                    lo, hi = band_range(band_op, values, left_value)
+                except TypeError:
+                    lo, hi = 0, len(members)
+                    check_band = True
+        else:
+            lo, hi = 0, len(members)
+        span = hi - lo
+        stats.examined += span
+        stats.work += span * compare_unit
+        for t2 in members[lo:hi]:
+            if t1.rid == t2.rid:
+                continue
+            if check_band and not null_safe_compare(
+                band_op, t1.lvals[band_idx], t2.rvals[band_idx]
+            ):
+                continue
+            ok = True
+            for i, op in residual:
+                if not null_safe_compare(op, t1.lvals[i], t2.rvals[i]):
+                    ok = False
+                    break
+            if not ok:
+                continue
+            # Both orders violating (symmetric constraints): emit only the
+            # rid-ordered pair so the union across partitions/backends
+            # reports each unordered pair exactly once.
+            if rid_after(t1.rid, t2.rid) and pair_violates(plan, t2, t1):
+                continue
+            out.append((t1, t2))
+            stats.pairs += 1
+    return out
+
+
+def find_violations(
+    records: Sequence[dict], constraint: DenialConstraint
+) -> list[tuple[dict, dict]]:
+    """Cluster-free banded DC check over plain records (repair/oracle use).
+
+    Records without a ``_rid`` get their positional index as the stable
+    row id.  Returns violating ``(t1, t2)`` record pairs under the same
+    null-safe, exactly-once semantics as the engine paths.
+    """
+    entries = [
+        extract_record(constraint, r.get(RID, i), r)
+        for i, r in enumerate(records)
+    ]
+    plan = plan_dc_entries(constraint, entries)
+    index = build_dc_index(entries, plan)
+    left = [e for e in entries if left_passes(constraint, e)]
+    stats = DCStats()
+    return [
+        (a.payload, b.payload)
+        for a, b in scan_partition(left, index, plan, stats)
+    ]

@@ -8,13 +8,25 @@ right-hand side is not unique — the comprehension of §4.4::
     for (g <- groups, g.count > 1) yield bag g
 
 General denial constraints ``∀ t1,t2 ¬(p1 ∧ ... ∧ pn)`` with inequality
-predicates are checked with a theta self-join whose strategy (matrix /
-cartesian / min-max) is the physical-level knob of §6.
+predicates are checked with a theta self-join whose strategy is the
+physical-level knob of §6: ``banded`` (the partition-aware plan of
+:mod:`repro.cleaning.dc_kernel` — hash-partitioned equality prefix plus a
+sort-banded range scan), ``matrix`` (the statistics-aware all-pairs
+operator), ``cartesian`` (Spark SQL), or ``minmax`` (BigDansing).  Like FD
+checking and dedup, the banded kernel runs on all three physical backends:
+:func:`check_dc` (row), :func:`check_dc_parallel` (real worker processes),
+and :func:`check_dc_columnar` (column batches with selection vectors) —
+with byte-identical violation output.
+
+Predicate semantics (null-safe three-valued comparison, stable row-id
+pair dedupe) live in :mod:`repro.cleaning.dc_kernel`; the classes are
+re-exported here for backwards compatibility.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from ..engine.cluster import Cluster
@@ -24,6 +36,20 @@ from ..engine.partitioner import stable_hash
 from ..engine.shuffle import exchange
 from ..physical.theta_join import self_theta_join
 from ..sources.columnar import ColumnBatch, batch_partitions, round_robin_split
+from .dc_kernel import (
+    RID,
+    DCRecord,
+    DCStats,
+    DenialConstraint,
+    SingleFilter,
+    TuplePredicate,
+    build_dc_index,
+    extract_record,
+    left_passes,
+    null_safe_compare,
+    plan_dc_entries,
+    scan_partition,
+)
 
 AttrSpec = str | Callable[[dict], Any]
 
@@ -353,75 +379,42 @@ def _spec_column(batch: ColumnBatch, specs: Sequence[AttrSpec]) -> list[Any]:
     return [tuple(vals) for vals in zip(*cols)]
 
 
-_OPS: dict[str, Callable[[Any, Any], bool]] = {
-    "<": lambda a, b: a < b,
-    "<=": lambda a, b: a <= b,
-    ">": lambda a, b: a > b,
-    ">=": lambda a, b: a >= b,
-    "==": lambda a, b: a == b,
-    "!=": lambda a, b: a != b,
-}
+# TuplePredicate / SingleFilter / DenialConstraint are defined in
+# ``dc_kernel`` (null-safe three-valued comparison, stable row-id pair
+# dedupe) and re-exported above; ``_OPS`` lives on as
+# ``dc_kernel.null_safe_compare``.
 
-
-@dataclass(frozen=True)
-class TuplePredicate:
-    """A cross-tuple predicate ``t1.left_attr OP t2.right_attr``."""
-
-    left_attr: str
-    op: str
-    right_attr: str
-
-    def holds(self, t1: dict, t2: dict) -> bool:
-        return _OPS[self.op](t1.get(self.left_attr), t2.get(self.right_attr))
-
-
-@dataclass(frozen=True)
-class SingleFilter:
-    """A single-tuple filter ``t1.attr OP constant`` (e.g. ψ's price < X)."""
-
-    attr: str
-    op: str
-    value: Any
-
-    def holds(self, t: dict) -> bool:
-        return _OPS[self.op](t.get(self.attr), self.value)
-
-
-@dataclass(frozen=True)
-class DenialConstraint:
-    """``∀ t1, t2  ¬(predicates ∧ t1-filters)``.
-
-    ``predicates`` relate a pair of tuples; ``left_filters`` restrict t1
-    before the join (the 0.01 % price selection of rule ψ).
-    """
-
-    predicates: tuple[TuplePredicate, ...]
-    left_filters: tuple[SingleFilter, ...] = field(default=())
-    name: str = "dc"
-
-    def violated_by(self, t1: dict, t2: dict) -> bool:
-        if t1 is t2:
-            return False
-        if not all(f.holds(t1) for f in self.left_filters):
-            return False
-        return all(p.holds(t1, t2) for p in self.predicates)
+#: Strategies :func:`check_dc` accepts; ``banded`` is the planned kernel.
+DC_STRATEGIES = ("banded", "matrix", "cartesian", "minmax")
 
 
 def check_dc(
     dataset: Dataset,
     constraint: DenialConstraint,
-    strategy: str = "matrix",
+    strategy: str = "banded",
 ) -> Dataset:
     """Find tuple pairs violating a general denial constraint.
 
-    For the ``matrix`` (CleanDB) and ``cartesian`` (Spark SQL) strategies,
-    the single-tuple filters are pushed below the join (both systems have a
-    relational optimizer that performs selection pushdown).  BigDansing's
-    ``minmax`` strategy treats the whole rule as one black-box UDF applied
-    to tuple pairs (§2/§8.3), so nothing is pushed and both join sides are
-    the full input — the source of its "excessive data shuffling".
-    Returns a dataset of violating ``(t1, t2)`` pairs.
+    ``banded`` (the default) plans the constraint with
+    :func:`~repro.cleaning.dc_kernel.plan_dc_entries`: equality predicates
+    become a hash-partitioned equi-prefix, the most selective ordered
+    predicate a sort-banded range scan, and only the surviving candidate
+    pairs are verified — the examined/universe counts flow into the
+    ``verified`` / ``comparisons`` metrics like the similarity kernel's
+    pruning counters.
+
+    For the ``matrix`` (CleanDB's all-pairs operator) and ``cartesian``
+    (Spark SQL) strategies, the single-tuple filters are pushed below the
+    join (both systems have a relational optimizer that performs selection
+    pushdown).  BigDansing's ``minmax`` strategy treats the whole rule as
+    one black-box UDF applied to tuple pairs (§2/§8.3), so nothing is
+    pushed and both join sides are the full input — the source of its
+    "excessive data shuffling".  Returns a dataset of violating
+    ``(t1, t2)`` pairs.
     """
+    if strategy == "banded":
+        return check_dc_banded(dataset, constraint)
+
     def pushed_predicate(t1: dict, t2: dict) -> bool:
         if t1 is t2:
             return False
@@ -434,7 +427,13 @@ def check_dc(
         band_attr = (
             constraint.predicates[0].left_attr if constraint.predicates else None
         )
-        band = (lambda r: r.get(band_attr, 0)) if band_attr else (lambda r: 0)
+
+        def band(r: dict) -> Any:
+            # Null band values sort as 0 for the min/max pruning ranges;
+            # the UDF's own null-safe predicates keep the answer exact.
+            value = r.get(band_attr) if band_attr else None
+            return 0 if value is None else value
+
         return self_theta_join_pair(dataset, dataset, udf_predicate, "minmax", band)
 
     if constraint.left_filters:
@@ -449,6 +448,304 @@ def check_dc(
     if strategy == "cartesian":
         return self_theta_join_pair(left, dataset, pushed_predicate, "cartesian")
     raise ValueError(f"unknown DC strategy {strategy!r}")
+
+
+def _dc_rids(parts: Sequence[Sequence[dict]]) -> list[list[Any]]:
+    """Stable row ids per partition: ``_rid`` when present, else the
+    partition-major position (exactly what ``ensure_rids`` would assign,
+    without copying every record)."""
+    rid_parts: list[list[Any]] = []
+    position = 0
+    for part in parts:
+        rids: list[Any] = []
+        for record in part:
+            rid = record.get(RID)
+            rids.append(position if rid is None else rid)
+            position += 1
+        rid_parts.append(rids)
+    return rid_parts
+
+
+def _record_dc_index_op(
+    cluster: Cluster,
+    index: dict,
+    n_records: int,
+    left_count: int,
+) -> None:
+    """Charge the banded index build (one op, shared by all backends).
+
+    Each right record is routed once (hash on the equality prefix / range
+    on the band attribute) and sorted within its group.  The exchange
+    carries *extracted comparison vectors* (rid + the predicate
+    attributes), not whole row objects — extraction runs before the
+    shuffle on every backend — so it is priced like the compact
+    column-block exchanges (``batch_shuffle_cost``).  Pricing the three
+    backends through this one helper keeps their cost model from
+    drifting apart.
+    """
+    cost = cluster.cost_model
+    sort_work = sum(
+        len(members) * max(1.0, math.log2(len(members) or 1)) * cost.sort_cpu_unit
+        for _, members in index.values()
+    )
+    shuffled = n_records + left_count
+    cluster.record_op(
+        "dc:banded:index",
+        [sort_work / cluster.num_nodes] * cluster.num_nodes,
+        shuffled_records=shuffled,
+        shuffle_cost=cost.batch_shuffle_cost(shuffled, kind="sort"),
+    )
+
+
+def check_dc_banded(dataset: Dataset, constraint: DenialConstraint) -> Dataset:
+    """Row-path execution of the planned (banded) DC kernel.
+
+    One extraction pass per partition, a driver-side grouped sort (the
+    equi-prefix hash + band sort), then a per-partition banded probe whose
+    examined-pair work is spread over nodes by partition placement.
+    Charges ``comparisons`` with the logical pair universe (filtered left
+    × full right — what the pushed-down cartesian plan examines) and
+    ``verified`` with the pairs the banded scan actually touched.
+    """
+    cluster = dataset.cluster
+    cost = cluster.cost_model
+    parts = dataset.partitions
+    rid_parts = _dc_rids(parts)
+    n_records = sum(len(p) for p in parts)
+    unit = cost.record_unit
+
+    entries_parts: list[list[DCRecord]] = [
+        [
+            extract_record(constraint, rid, record)
+            for rid, record in zip(rids, part)
+        ]
+        for rids, part in zip(rid_parts, parts)
+    ]
+    flat = [e for part in entries_parts for e in part]
+    plan = plan_dc_entries(constraint, flat)
+    # Statistics + extraction pass: one scan of the input (the same
+    # "global data statistics" effort the matrix join charges).
+    cluster.record_op(
+        "dc:banded:stats",
+        cluster.spread_over_nodes([len(p) * unit for p in parts]),
+    )
+
+    index = build_dc_index(flat, plan)
+    left_parts = [
+        [e for e in part if left_passes(constraint, e)] for part in entries_parts
+    ]
+    left_count = sum(len(p) for p in left_parts)
+
+    _record_dc_index_op(cluster, index, n_records, left_count)
+
+    stats = DCStats()
+    stats.candidates = left_count * n_records
+    out_parts: list[list[tuple[dict, dict]]] = []
+    per_part_work: list[float] = []
+    for part in left_parts:
+        work_before = stats.work
+        pairs = scan_partition(part, index, plan, stats, cost.compare_unit)
+        out_parts.append([(a.payload, b.payload) for a, b in pairs])
+        per_part_work.append(stats.work - work_before)
+    cluster.charge_comparisons(stats.candidates)
+    cluster.charge_verified(stats.examined)
+    cluster.record_op("dc:banded:scan", cluster.spread_over_nodes(per_part_work))
+    return Dataset(cluster, out_parts, op="dc:banded")
+
+
+def check_dc_parallel(
+    cluster: Cluster,
+    records: Sequence[dict],
+    constraint: DenialConstraint,
+    fmt: str = "memory",
+) -> Dataset:
+    """Multi-process banded DC check over real worker processes.
+
+    Partition layout mirrors the row path's round-robin ``parallelize``;
+    the extraction pass runs as one worker task per partition
+    (:func:`~repro.physical.parallel_exec._dc_extract_task`), the driver
+    builds the grouped/sorted index from the partition-major entry
+    stream (so it is identical to the row path's), and the banded probe
+    runs as one worker task per left partition.  Output is
+    **byte-identical** — same pairs, same order — to
+    ``check_dc(cluster.parallelize(records, ...), constraint,
+    strategy="banded")``; metrics additionally carry the measured pool
+    wall-clock.
+
+    Falls back to the serial banded row path when the constraint or the
+    records cannot cross a process boundary.
+    """
+    from ..physical.parallel_exec import _dc_extract_task, _dc_scan_task
+
+    records = records if isinstance(records, list) else list(records)
+    shippable = is_picklable(constraint) and is_picklable(records)
+    if not shippable:
+        ds = cluster.parallelize(records, fmt=fmt, name="lineitem")
+        return check_dc_banded(ds, constraint)
+
+    cost = cluster.cost_model
+    n = cluster.default_parallelism
+    unit = cost.record_unit
+    parts = round_robin_split(records, n)
+    scan_unit = cost.scan_unit(fmt)
+    cluster.record_op(
+        "scan:lineitem:par",
+        cluster.spread_over_nodes([len(p) * (unit + scan_unit) for p in parts]),
+    )
+
+    rid_parts = _dc_rids(parts)
+    pool = cluster.pool
+    entries_parts = pool.run(
+        _dc_extract_task,
+        [
+            (part, constraint, rids, part_idx)
+            for part_idx, (part, rids) in enumerate(zip(parts, rid_parts))
+        ],
+    )
+    cluster.record_op(
+        "dc:banded:stats",
+        cluster.spread_over_nodes([len(p) * unit for p in parts]),
+        wall_seconds=pool.last_wall_seconds,
+    )
+
+    flat = [e for part in entries_parts for e in part]
+    plan = plan_dc_entries(constraint, flat)
+    index = build_dc_index(flat, plan)
+    left_parts = [
+        [e for e in part if left_passes(constraint, e)] for part in entries_parts
+    ]
+    left_count = sum(len(p) for p in left_parts)
+    n_records = len(records)
+
+    _record_dc_index_op(cluster, index, n_records, left_count)
+
+    results = pool.run(
+        _dc_scan_task,
+        [(part, index, plan, cost.compare_unit) for part in left_parts],
+    )
+    # Workers return (partition, row) reference pairs; the driver holds
+    # the records, so violating rows materialize here — same dicts, same
+    # order as the row path.
+    out_parts = [
+        [(parts[p1][i1], parts[p2][i2]) for (p1, i1), (p2, i2) in pairs]
+        for pairs, _ in results
+    ]
+    totals = DCStats()
+    totals.candidates = left_count * n_records
+    for _, stats in results:
+        totals.examined += stats[0]
+        totals.pairs += stats[1]
+        totals.work += stats[2]
+    cluster.charge_comparisons(totals.candidates)
+    cluster.charge_verified(totals.examined)
+    cluster.record_op(
+        "dc:banded:scan",
+        cluster.spread_over_nodes([stats[2] for _, stats in results]),
+        wall_seconds=pool.last_wall_seconds,
+    )
+    return Dataset(cluster, out_parts, op="dc:parallel")
+
+
+def check_dc_columnar(
+    cluster: Cluster,
+    records: Sequence[dict],
+    constraint: DenialConstraint,
+    fmt: str = "memory",
+    batch_size: int = 1024,
+) -> Dataset:
+    """Vectorized banded DC check: the column-batch fast path.
+
+    The single-tuple filters run column-at-a-time over ``ColumnBatch``
+    selection vectors (:func:`~repro.physical.vectorized.dc_filter_batch`
+    — no row dicts are built), comparison vectors are read straight from
+    the attribute columns, and violating pairs late-materialize rows only
+    on emission.  Violation output matches :func:`check_dc_banded` over
+    the same round-robin layout byte-for-byte.
+
+    Falls back to the banded row path when the records are not uniform
+    dict rows (the vectorized backend's usual precondition).
+    """
+    from ..physical.vectorized import dc_extract_batch, dc_filter_batch
+
+    records = records if isinstance(records, list) else list(records)
+    batches = batch_partitions(records, cluster.default_parallelism)
+    if batches is None:  # heterogeneous rows: row-at-a-time fallback
+        ds = cluster.parallelize(records, fmt=fmt, name="lineitem")
+        return check_dc_banded(ds, constraint)
+
+    cost = cluster.cost_model
+
+    def _charge(name: str, per_part_rows: list[float], **kwargs: Any) -> None:
+        cluster.record_batch_stage(name, per_part_rows, batch_size=batch_size, **kwargs)
+
+    _charge(
+        "scan:lineitem:vec",
+        [float(len(b)) for b in batches],
+        extra_unit=cost.scan_unit(fmt),
+    )
+
+    # Stable row ids, partition-major (mirrors the row path's _dc_rids).
+    has_rids = bool(records) and RID in records[0]
+    rid_cols: list[list[Any]] = []
+    next_rid = 0
+    for batch in batches:
+        if has_rids:
+            rid_cols.append(batch.column(RID))
+        else:
+            rid_cols.append(list(range(next_rid, next_rid + len(batch))))
+            next_rid += len(batch)
+
+    entries_parts = [
+        dc_extract_batch(batch, constraint, rids, part_idx)
+        for part_idx, (batch, rids) in enumerate(zip(batches, rid_cols))
+    ]
+    _charge("dc:banded:stats:vec", [float(len(b)) for b in batches])
+
+    flat = [e for part in entries_parts for e in part]
+    plan = plan_dc_entries(constraint, flat)
+    index = build_dc_index(flat, plan)
+
+    # Left side: selection-vector filtering, then entry lookup by the
+    # surviving physical row indices (selection preserves order).
+    left_parts: list[list[DCRecord]] = []
+    for part_idx, batch in enumerate(batches):
+        filtered = dc_filter_batch(batch, constraint)
+        selection = (
+            filtered.selection
+            if filtered.selection is not None
+            else range(filtered.physical_rows)
+        )
+        entries = entries_parts[part_idx]
+        left_parts.append([entries[i] for i in selection])
+    _charge("dc:leftFilter:vec", [float(len(b)) for b in batches])
+
+    left_count = sum(len(p) for p in left_parts)
+    n_records = len(records)
+    _record_dc_index_op(cluster, index, n_records, left_count)
+
+    stats = DCStats()
+    stats.candidates = left_count * n_records
+    out_parts: list[list[tuple[dict, dict]]] = []
+    per_part_work: list[float] = []
+    for part in left_parts:
+        work_before = stats.work
+        pairs = scan_partition(part, index, plan, stats, cost.compare_unit)
+        # Late materialization: rows rebuild from columns only on emission,
+        # with exactly the source key order (so output matches the row
+        # path's record dicts value-for-value).
+        out = [
+            (
+                batches[a.payload[0]].row(a.payload[1]),
+                batches[b.payload[0]].row(b.payload[1]),
+            )
+            for a, b in pairs
+        ]
+        out_parts.append(out)
+        per_part_work.append(stats.work - work_before)
+    cluster.charge_comparisons(stats.candidates)
+    cluster.charge_verified(stats.examined)
+    cluster.record_op("dc:banded:scan", cluster.spread_over_nodes(per_part_work))
+    return Dataset(cluster, out_parts, op="dc:vectorized")
 
 
 def self_theta_join_pair(
@@ -476,6 +773,13 @@ def self_theta_join_pair(
     raise ValueError(f"unknown theta-join strategy {strategy!r}")
 
 
+# ``self_theta_join`` is deliberately re-exported from
+# ``repro.physical.theta_join``: it is the strategy dispatcher behind
+# ``check_dc``'s matrix/cartesian/minmax plans, and the cleaning layer is
+# its public surface.  The import-star smoke test
+# (``tests/cleaning/test_denial.py``) asserts every name listed here
+# resolves on the module, so a stale entry fails fast instead of breaking
+# ``from repro.cleaning.denial import *`` at a call site.
 __all__ = [
     "FDViolation",
     "check_fd",
@@ -484,6 +788,12 @@ __all__ = [
     "TuplePredicate",
     "SingleFilter",
     "DenialConstraint",
+    "DC_STRATEGIES",
     "check_dc",
+    "check_dc_banded",
+    "check_dc_columnar",
+    "check_dc_parallel",
     "self_theta_join",
+    "self_theta_join_pair",
+    "null_safe_compare",
 ]

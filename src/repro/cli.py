@@ -4,11 +4,20 @@ Usage::
 
     python -m repro explain --table customer=data.csv:csv:name:str,phone:str "SELECT ..."
     python -m repro query   --table customer=data.json:json "SELECT ..."
+    python -m repro dc      --table lineitem=data.csv:csv:... \\
+        --rule "t1.price < t2.price and t1.discount > t2.discount" \\
+        --where "t1.price < 1000" --dc-strategy banded --repair
     python -m repro formats
 
 Table specs take the form ``NAME=PATH:FORMAT[:SCHEMA]`` where SCHEMA is a
 comma-separated ``field:type`` list (required for csv/columnar).  Query
 results print as text tables; cleaning branches print one block each.
+
+The ``dc`` command checks (and with ``--repair`` repairs) a general
+denial constraint: ``--rule`` is the cross-tuple conjunction, ``--where``
+the optional single-tuple filters, ``--dc-strategy`` the physical plan
+(``banded``/``matrix``/``cartesian``/``minmax``), and ``--execution``
+picks the backend the banded kernel runs on.
 """
 
 from __future__ import annotations
@@ -127,8 +136,109 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--metrics", action="store_true", help="print execution metrics")
         p.add_argument("sql", help="the CleanM query text (or @file to read one)")
 
+    dc = sub.add_parser(
+        "dc", help="check (and optionally repair) a general denial constraint"
+    )
+    dc.add_argument(
+        "--table",
+        action="append",
+        default=[],
+        metavar="NAME=PATH:FORMAT[:SCHEMA]",
+        help="register a data source (repeatable)",
+    )
+    dc.add_argument(
+        "--on",
+        default=None,
+        metavar="NAME",
+        help="table to check (defaults to the only registered table)",
+    )
+    dc.add_argument(
+        "--rule",
+        required=True,
+        metavar="'t1.a OP t2.b and ...'",
+        help="cross-tuple predicate conjunction of the constraint",
+    )
+    dc.add_argument(
+        "--where",
+        default="",
+        metavar="'t1.a OP CONST and ...'",
+        help="single-tuple filters on t1 (e.g. rule psi's price cap)",
+    )
+    dc.add_argument(
+        "--dc-strategy",
+        choices=("banded", "matrix", "cartesian", "minmax"),
+        default="banded",
+        help="physical DC plan (banded = equality prefix + sorted range scan)",
+    )
+    dc.add_argument(
+        "--execution",
+        choices=("row", "vectorized", "parallel"),
+        default="row",
+        help="backend the banded kernel runs on",
+    )
+    dc.add_argument("--workers", type=int, default=None, metavar="N",
+                    help="worker processes for --execution parallel")
+    dc.add_argument("--nodes", type=int, default=10, help="simulated cluster size")
+    dc.add_argument("--budget", type=float, default=None, help="execution budget")
+    dc.add_argument(
+        "--repair",
+        action="store_true",
+        help="repair the violations by relaxation and report the changes",
+    )
+    dc.add_argument("--metrics", action="store_true", help="print execution metrics")
+
     sub.add_parser("formats", help="list supported storage formats")
     return parser
+
+
+def run_dc(args: Any) -> int:
+    """The ``dc`` subcommand: parse the rule, check, optionally repair."""
+    import math
+
+    from .cleaning.dc_kernel import parse_dc
+
+    db = CleanDB(
+        num_nodes=args.nodes,
+        budget=args.budget if args.budget is not None else math.inf,
+        execution=args.execution,
+        workers=args.workers,
+        dc_strategy=args.dc_strategy,
+    )
+    try:
+        load_tables(args.table, db)
+        names = list(db._tables)
+        if args.on:
+            table = args.on
+        elif len(names) == 1:
+            table = names[0]
+        else:
+            raise ValueError(
+                "pass --on NAME when registering more than one table"
+            )
+        constraint = parse_dc(args.rule, where=args.where)
+        violations = db.check_dc(table, constraint)
+        print(f"-- {len(violations)} violating pairs ({args.dc_strategy}) --")
+        for t1, t2 in violations[:20]:
+            print(f"  t1={_short(t1)}  t2={_short(t2)}")
+        if len(violations) > 20:
+            print(f"  ... {len(violations) - 20} more pairs")
+        if args.repair:
+            report = db.repair_dc(table, constraint, violations=violations)
+            print("\n-- repair by relaxation --")
+            print(f"  cover cells:         {report.cover_size}")
+            print(f"  cells changed:       {report.cells_changed}")
+            print(f"  cells nulled:        {report.cells_nulled}")
+            print(f"  rounds:              {report.rounds}")
+            print(f"  residual violations: {report.residual_violations}")
+        if args.metrics:
+            print("\n-- metrics --")
+            print(json.dumps(db.cluster.metrics.summary(), indent=2, sort_keys=True))
+    except (ReproError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        db.close()
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -136,6 +246,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "formats":
         print("\n".join(FORMATS))
         return 0
+    if args.command == "dc":
+        return run_dc(args)
 
     sql = args.sql
     if sql.startswith("@"):

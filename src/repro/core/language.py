@@ -109,6 +109,12 @@ class CleanDB:
         theta-derived distance budget (the similarity kernel's early
         exit).  On by default; results are identical either way — the
         toggle exists so benchmarks can measure the filters' effect.
+    dc_strategy:
+        Default strategy for :meth:`check_dc` / :meth:`repair_dc`:
+        ``"banded"`` (the planned DC kernel — hash equality prefix plus a
+        sort-banded range scan, running on whichever ``execution``
+        backend is configured), ``"matrix"``, ``"cartesian"``, or
+        ``"minmax"``.  The violation set is identical across strategies.
     q / k / delta:
         Blocking parameters: q-gram length for token filtering, number of
         centers and assignment slack for k-means.
@@ -125,6 +131,7 @@ class CleanDB:
         coalesce: bool = True,
         use_codegen: bool = False,
         sim_filters: bool = True,
+        dc_strategy: str = "banded",
         q: int = 3,
         k: int = 10,
         delta: float = 0.05,
@@ -147,6 +154,14 @@ class CleanDB:
         self.coalesce = coalesce
         self.use_codegen = use_codegen
         self.sim_filters = sim_filters
+        from ..cleaning.denial import DC_STRATEGIES
+
+        if dc_strategy not in DC_STRATEGIES:
+            expected = ", ".join(repr(s) for s in DC_STRATEGIES)
+            raise PlanningError(
+                f"unknown DC strategy {dc_strategy!r}; expected one of {expected}"
+            )
+        self.dc_strategy = dc_strategy
         self.q = q
         self.k = k
         self.delta = delta
@@ -202,6 +217,82 @@ class CleanDB:
 
         rows = self.table(name)
         return collect_key_stats(rows, lambda r: r.get(attr) if isinstance(r, dict) else r)
+
+    # ------------------------------------------------------------------ #
+    # Denial constraints (programmatic surface; SQL self-joins also work)
+    # ------------------------------------------------------------------ #
+    def check_dc(
+        self, table: str, constraint: Any, strategy: str | None = None
+    ) -> list[tuple[dict, dict]]:
+        """Find pairs in ``table`` violating a general denial constraint.
+
+        ``constraint`` is a :class:`~repro.cleaning.denial.
+        DenialConstraint` (or a rule string for
+        :func:`~repro.cleaning.dc_kernel.parse_dc`).  The ``banded``
+        strategy runs on this instance's execution backend — the columnar
+        fast path under ``execution="vectorized"``, real worker processes
+        under ``execution="parallel"`` — with an identical violation set
+        either way.
+        """
+        from ..cleaning.dc_kernel import parse_dc
+        from ..cleaning.denial import (
+            check_dc,
+            check_dc_columnar,
+            check_dc_parallel,
+        )
+
+        if isinstance(constraint, str):
+            constraint = parse_dc(constraint)
+        chosen = strategy or self.dc_strategy
+        records = self.table(table)
+        fmt = self._formats.get(table, "memory")
+        if chosen == "banded":
+            if self.config.execution == "vectorized":
+                return check_dc_columnar(
+                    self.cluster, records, constraint, fmt=fmt,
+                    batch_size=self.config.batch_size,
+                ).collect()
+            if self.config.execution == "parallel":
+                return check_dc_parallel(
+                    self.cluster, records, constraint, fmt=fmt
+                ).collect()
+        ds = self.cluster.parallelize(records, fmt=fmt, name=table)
+        return check_dc(ds, constraint, strategy=chosen).collect()
+
+    def repair_dc(
+        self,
+        table: str,
+        constraint: Any,
+        strategy: str | None = None,
+        max_rounds: int = 4,
+        violations: list[tuple[dict, dict]] | None = None,
+    ):
+        """Detect and repair ``table``'s DC violations by relaxation.
+
+        The repaired records replace the registered table (the detect →
+        repair loop of the examples), and the
+        :class:`~repro.cleaning.repair.DCRepairReport` is returned —
+        ``report.clean`` is True when no residual violations remain.
+        Pass ``violations`` from an earlier :meth:`check_dc` call on the
+        same table to skip re-detecting.
+        """
+        from ..cleaning.dc_kernel import parse_dc
+        from ..cleaning.repair import repair_dc_by_relaxation
+
+        if isinstance(constraint, str):
+            constraint = parse_dc(constraint)
+        # One detection pass through the configured backend (so metrics
+        # reflect the real plan); its pairs seed the repair engine's first
+        # round directly when the backend returned the table's own record
+        # objects (the row path does — other backends re-detect).
+        if violations is None:
+            violations = self.check_dc(table, constraint, strategy=strategy)
+        repaired, report = repair_dc_by_relaxation(
+            self.table(table), constraint, max_rounds=max_rounds,
+            violations=violations,
+        )
+        self._tables[table] = repaired
+        return report
 
     # ------------------------------------------------------------------ #
     # Compilation

@@ -189,6 +189,49 @@ def _distinct_merge_task(part: list[tuple[Any, None]]) -> list[Any]:
     return list(seen)
 
 
+def _dc_extract_task(
+    records: list[dict], constraint: Any, rids: list[Any], part_idx: int
+) -> list[Any]:
+    """Worker task: DC comparison-vector extraction for one partition.
+
+    One :class:`~repro.cleaning.dc_kernel.DCRecord` per input record, in
+    partition order — the exact per-partition state the row path's
+    ``check_dc_banded`` extracts, so the driver-side index build and the
+    downstream scan are byte-identical to serial execution.  Payloads are
+    compact ``(partition, row)`` references (the driver holds the
+    records): the index that later ships to every scan task then carries
+    only the fixed-width comparison vectors, not a copy of every row.
+    """
+    from ..cleaning.dc_kernel import extract_record
+
+    return [
+        extract_record(constraint, rid, record, payload=(part_idx, i))
+        for i, (rid, record) in enumerate(zip(rids, records))
+    ]
+
+
+def _dc_scan_task(
+    left_entries: list[Any],
+    index: dict,
+    plan: Any,
+    compare_unit: float,
+) -> tuple[list[tuple[dict, dict]], tuple[int, int, float]]:
+    """Worker task: banded probe of one left partition against the index.
+
+    Runs the shared kernel scan (:func:`~repro.cleaning.dc_kernel.
+    scan_partition`) — same candidate ranges, same residual checks, same
+    exactly-once pair rule as the row path.  Returns the violating
+    ``(t1, t2)`` record pairs plus ``(examined, pairs, work)`` counters
+    for the driver to merge into the cluster metrics.
+    """
+    from ..cleaning.dc_kernel import DCStats, scan_partition
+
+    stats = DCStats()
+    pairs = scan_partition(left_entries, index, plan, stats, compare_unit)
+    out = [(a.payload, b.payload) for a, b in pairs]
+    return out, (stats.examined, stats.pairs, stats.work)
+
+
 # ---------------------------------------------------------------------- #
 # The parallel executor
 # ---------------------------------------------------------------------- #

@@ -37,6 +37,10 @@ def theta_join_cartesian(
     product = left.cartesian(right, name="thetaJoin:cartesian")
     pairs = product.count()
     cluster.charge_comparisons(pairs)
+    # Every materialized pair runs the predicate: nothing is pruned, so
+    # verified == candidates (pruning ratio 1.0) — the baseline the banded
+    # DC kernel's examined-pair counter is compared against.
+    cluster.charge_verified(pairs)
     return product.filter(lambda lr: predicate(lr[0], lr[1]), name="thetaJoin:filter")
 
 
@@ -99,6 +103,7 @@ def theta_join_minmax(
                     if predicate(l, r):
                         matches.append((l, r))
     cluster.charge_comparisons(comparisons)
+    cluster.charge_verified(comparisons)  # every surviving pair ran the UDF
     shuffle_cost = (
         shuffled * cluster.cost_model.shuffle_unit * cluster.cost_model.hash_shuffle_factor
     )
@@ -158,6 +163,7 @@ def theta_join_matrix(
                         matches.append((l, r))
             node += 1
     cluster.charge_comparisons(comparisons)
+    cluster.charge_verified(comparisons)  # all-pairs: nothing pruned
     shuffle_cost = shuffled * cluster.cost_model.shuffle_unit
     cluster.record_op(
         "thetaJoin:matrix",

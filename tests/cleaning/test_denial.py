@@ -1,5 +1,7 @@
 """Unit tests for FD and denial-constraint checking."""
 
+import pickle
+
 import pytest
 
 from repro.cleaning import (
@@ -9,6 +11,7 @@ from repro.cleaning import (
     check_dc,
     check_fd,
 )
+from repro.cleaning.dc_kernel import null_safe_compare, parse_dc, plan_dc
 from repro.engine import Cluster
 
 
@@ -108,7 +111,7 @@ PSI = DenialConstraint(
 
 
 class TestCheckDC:
-    @pytest.mark.parametrize("strategy", ["matrix", "cartesian", "minmax"])
+    @pytest.mark.parametrize("strategy", ["banded", "matrix", "cartesian", "minmax"])
     def test_strategies_find_same_violations(self, strategy):
         cluster = Cluster(num_nodes=4)
         ds = cluster.parallelize(dc_records())
@@ -154,3 +157,255 @@ class TestCheckDC:
         assert PSI.violated_by(t1, t2)
         assert not PSI.violated_by(t2, t1)
         assert not PSI.violated_by(t1, t1)
+
+    def test_banded_prunes_examined_pairs(self):
+        cluster = Cluster(num_nodes=4)
+        records = [
+            {"price": float(i), "discount": ((3 * i) % 7) / 10} for i in range(40)
+        ]
+        pairs = check_dc(cluster.parallelize(records), PSI, "banded").collect()
+        assert pairs
+        # The examined count (verified) sits strictly below the pair
+        # universe (comparisons) — the banded range scan pruned.
+        assert 0 < cluster.metrics.verified < cluster.metrics.comparisons
+
+
+class TestNullSafety:
+    """Regression: ordered comparisons on missing/None attributes used to
+    raise ``TypeError`` (``None < 5``); they are three-valued now."""
+
+    def test_tuple_predicate_null_on_either_side(self):
+        pred = TuplePredicate("price", "<", "price")
+        assert pred.holds({"price": 1.0}, {"price": 2.0})
+        assert not pred.holds({"price": None}, {"price": 2.0})
+        assert not pred.holds({"price": 1.0}, {"price": None})
+        assert not pred.holds({"price": None}, {"price": None})
+        assert not pred.holds({}, {"price": 2.0})  # missing attribute
+        assert not pred.holds({"price": 1.0}, {})
+
+    def test_single_filter_null(self):
+        cap = SingleFilter("price", "<", 15.0)
+        assert cap.holds({"price": 1.0})
+        assert not cap.holds({"price": None})
+        assert not cap.holds({})
+
+    def test_equality_with_null_never_satisfies(self):
+        # SQL three-valued logic: NULL = NULL is unknown, not a violation.
+        pred = TuplePredicate("zip", "==", "zip")
+        assert not pred.holds({"zip": None}, {"zip": None})
+        ne = TuplePredicate("zip", "!=", "zip")
+        assert not ne.holds({"zip": None}, {"zip": 1})
+
+    def test_null_safe_compare_table(self):
+        for op in ("<", "<=", ">", ">=", "==", "!="):
+            assert not null_safe_compare(op, None, 1)
+            assert not null_safe_compare(op, 1, None)
+        assert null_safe_compare("<", 1, 2)
+        assert not null_safe_compare("<", 2, 1)
+
+    @pytest.mark.parametrize("strategy", ["banded", "matrix", "cartesian", "minmax"])
+    def test_check_dc_survives_nulls_on_both_tuple_sides(self, strategy):
+        records = [
+            {"price": None, "discount": 0.5},
+            {"price": 10.0, "discount": None},
+            {"price": 10.0, "discount": 0.05},
+            {"price": 20.0, "discount": 0.01},  # violates with the row above
+            {"price": None, "discount": None},
+        ]
+        cluster = Cluster(num_nodes=4)
+        pairs = check_dc(cluster.parallelize(records), PSI, strategy).collect()
+        found = {(t1["price"], t2["price"]) for t1, t2 in pairs}
+        assert found == {(10.0, 20.0)}
+        # No null tuple ever takes part in a violation.
+        for t1, t2 in pairs:
+            assert t1["price"] is not None and t2["price"] is not None
+
+    def test_nan_band_values_match_oracle(self):
+        # NaN never satisfies a comparison but corrupts sorted-list
+        # bisection; the kernel must treat it like a null.
+        nan = float("nan")
+        records = [
+            {"a": nan, "b": 1, "_rid": 0},
+            {"a": 1.0, "b": 2, "_rid": 1},
+            {"a": 2.0, "b": 1, "_rid": 2},
+            {"a": nan, "b": 0, "_rid": 3},
+            {"a": 0.5, "b": 9, "_rid": 4},
+        ]
+        constraint = DenialConstraint(
+            predicates=(
+                TuplePredicate("a", "<", "a"),
+                TuplePredicate("b", ">", "b"),
+            ),
+        )
+        cluster = Cluster(num_nodes=3)
+        got = {
+            (t1["_rid"], t2["_rid"])
+            for t1, t2 in check_dc(
+                cluster.parallelize(records), constraint, "banded"
+            ).collect()
+        }
+        assert got == {(1, 2), (4, 1), (4, 2)}
+
+    def test_left_filter_with_nulls(self):
+        constrained = DenialConstraint(
+            predicates=PSI.predicates,
+            left_filters=(SingleFilter("price", "<", 15.0),),
+        )
+        records = [
+            {"price": None, "discount": 0.9},
+            {"price": 10.0, "discount": 0.05},
+            {"price": 20.0, "discount": 0.01},
+        ]
+        cluster = Cluster(num_nodes=4)
+        pairs = check_dc(
+            cluster.parallelize(records), constrained, "banded"
+        ).collect()
+        assert {(a["price"], b["price"]) for a, b in pairs} == {(10.0, 20.0)}
+
+
+class TestStableRowIds:
+    """Regression: ``violated_by`` deduped self pairs by object identity,
+    which breaks once records are pickled through the parallel backend."""
+
+    def test_self_pair_by_rid_survives_pickling(self):
+        row = {"price": 10.0, "discount": 0.05, "_rid": 7}
+        clone = pickle.loads(pickle.dumps(row))
+        assert row is not clone
+        # A symmetric tautological rule would pair a row with its own copy
+        # if identity were the only guard.
+        anything = DenialConstraint(
+            predicates=(TuplePredicate("price", "<=", "price"),),
+        )
+        assert not anything.violated_by(row, clone)
+        assert not anything.violated_by(clone, row)
+
+    def test_distinct_rows_with_equal_values_still_pair(self):
+        a = {"price": 10.0, "discount": 0.05, "_rid": 1}
+        b = {"price": 10.0, "discount": 0.05, "_rid": 2}
+        anything = DenialConstraint(
+            predicates=(TuplePredicate("price", "<=", "price"),),
+        )
+        assert anything.violated_by(a, b)
+
+    def test_mixed_rid_types_do_not_crash(self):
+        # A string ``_rid`` next to an id-less row (positional int rid)
+        # used to raise TypeError in the exactly-once comparison.
+        records = [
+            {"price": 10.0, "discount": 0.05, "_rid": "a7"},
+            {"price": 20.0, "discount": 0.01},
+        ]
+        cluster = Cluster(num_nodes=3)
+        pairs = check_dc(cluster.parallelize(records), PSI, "banded").collect()
+        assert {(a["price"], b["price"]) for a, b in pairs} == {(10.0, 20.0)}
+
+    def test_symmetric_violations_emitted_once_per_unordered_pair(self):
+        # zip==zip and city!=city violates in both orders; the banded
+        # kernel must report the unordered pair exactly once, rid-ordered.
+        constraint = DenialConstraint(
+            predicates=(
+                TuplePredicate("zip", "==", "zip"),
+                TuplePredicate("city", "!=", "city"),
+            ),
+        )
+        records = [
+            {"zip": 10, "city": "x", "_rid": 0},
+            {"zip": 10, "city": "y", "_rid": 1},
+            {"zip": 10, "city": "x", "_rid": 2},
+        ]
+        cluster = Cluster(num_nodes=4)
+        pairs = check_dc(
+            cluster.parallelize(records), constraint, "banded"
+        ).collect()
+        found = sorted((a["_rid"], b["_rid"]) for a, b in pairs)
+        assert found == [(0, 1), (1, 2)]
+
+
+class TestDCPlanner:
+    def test_equality_becomes_prefix_and_band_selected(self):
+        constraint = DenialConstraint(
+            predicates=(
+                TuplePredicate("c", "==", "c"),
+                TuplePredicate("a", "<", "a"),
+                TuplePredicate("b", "!=", "b"),
+            ),
+        )
+        plan = plan_dc(constraint)
+        assert plan.eq_idx == (0,)
+        assert plan.band_idx == 1
+        assert plan.residual_idx == (2,)
+        assert "c==c" in plan.describe()
+
+    def test_most_selective_band_wins(self):
+        # ``a`` is constant (band keeps everything); ``b`` is strictly
+        # increasing (band halves the candidates): the planner must band
+        # on ``b``.
+        constraint = DenialConstraint(
+            predicates=(
+                TuplePredicate("a", "<=", "a"),
+                TuplePredicate("b", "<", "b"),
+            ),
+        )
+        records = [{"a": 1, "b": i} for i in range(50)]
+        plan = plan_dc(constraint, records)
+        assert plan.band_idx == 1
+
+    def test_parse_dc_round_trip(self):
+        constraint = parse_dc(
+            "t1.price < t2.price and t1.discount > t2.discount",
+            where="t1.price < 1000",
+            name="psi",
+        )
+        assert constraint.predicates == (
+            TuplePredicate("price", "<", "price"),
+            TuplePredicate("discount", ">", "discount"),
+        )
+        assert constraint.left_filters == (SingleFilter("price", "<", 1000),)
+        assert constraint.name == "psi"
+
+    def test_parse_dc_case_insensitive_and(self):
+        constraint = parse_dc(
+            "t1.price < t2.price AND t1.discount > t2.discount"
+        )
+        assert len(constraint.predicates) == 2
+        assert constraint.predicates[1] == TuplePredicate("discount", ">", "discount")
+
+    def test_parse_dc_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_dc("t1.price ~ t2.price")
+        with pytest.raises(ValueError):
+            parse_dc("price < t2.price")
+        with pytest.raises(ValueError):
+            parse_dc("")
+        # An unknown conjunction must fail loudly, never silently parse
+        # into a garbage attribute name that matches nothing.
+        with pytest.raises(ValueError):
+            parse_dc("t1.price < t2.price OR t1.discount > t2.discount")
+
+
+class TestImportStar:
+    def test_import_star_matches_all(self):
+        """``from repro.cleaning.denial import *`` exposes exactly
+        ``__all__``, and every listed name resolves — including the
+        deliberately re-exported ``self_theta_join``."""
+        import repro.cleaning.denial as denial
+
+        namespace: dict = {}
+        exec("from repro.cleaning.denial import *", namespace)
+        exported = {k for k in namespace if not k.startswith("_")}
+        assert exported == set(denial.__all__)
+        for name in denial.__all__:
+            assert getattr(denial, name) is not None
+        assert namespace["self_theta_join"] is denial.self_theta_join
+
+    def test_package_surface_consistent(self):
+        """The package-level re-exports stay in sync with the module."""
+        import repro.cleaning as cleaning
+        import repro.cleaning.denial as denial
+
+        for name in (
+            "DenialConstraint", "TuplePredicate", "SingleFilter",
+            "check_dc", "check_dc_parallel", "check_dc_columnar",
+            "self_theta_join",
+        ):
+            assert getattr(cleaning, name) is getattr(denial, name)
+            assert name in cleaning.__all__

@@ -164,3 +164,70 @@ class TestCommands:
         )
         assert code == 1
         assert "budget" in capsys.readouterr().err
+
+
+class TestDCCommand:
+    @pytest.fixture
+    def lineitem_csv(self, tmp_path):
+        schema = Schema.of(price="float", discount="float")
+        rows = [
+            {"price": 10.0, "discount": 0.05},
+            {"price": 20.0, "discount": 0.01},
+            {"price": 30.0, "discount": 0.10},
+        ]
+        path = tmp_path / "lineitem.csv"
+        write_records(path, rows, "csv", schema)
+        return path
+
+    def test_dc_check(self, lineitem_csv, capsys):
+        code = main(
+            [
+                "dc",
+                "--table", f"lineitem={lineitem_csv}:csv:price:float,discount:float",
+                "--rule", "t1.price < t2.price and t1.discount > t2.discount",
+                "--metrics",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 violating pairs (banded)" in out
+        assert "pruning_ratio" in out
+
+    def test_dc_repair(self, lineitem_csv, capsys):
+        code = main(
+            [
+                "dc",
+                "--table", f"lineitem={lineitem_csv}:csv:price:float,discount:float",
+                "--rule", "t1.price < t2.price and t1.discount > t2.discount",
+                "--where", "t1.price < 15",
+                "--dc-strategy", "banded",
+                "--repair",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "repair by relaxation" in out
+        assert "residual violations: 0" in out
+
+    def test_dc_bad_rule_errors(self, lineitem_csv, capsys):
+        code = main(
+            [
+                "dc",
+                "--table", f"lineitem={lineitem_csv}:csv:price:float,discount:float",
+                "--rule", "price ~ discount",
+            ]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_dc_requires_on_with_multiple_tables(self, lineitem_csv, capsys):
+        code = main(
+            [
+                "dc",
+                "--table", f"a={lineitem_csv}:csv:price:float,discount:float",
+                "--table", f"b={lineitem_csv}:csv:price:float,discount:float",
+                "--rule", "t1.price < t2.price",
+            ]
+        )
+        assert code == 1
+        assert "--on" in capsys.readouterr().err

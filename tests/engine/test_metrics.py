@@ -73,7 +73,8 @@ class TestMetricsCollector:
         summary = mc.summary()
         assert set(summary) == {
             "simulated_time", "measured_time", "shuffled_records",
-            "total_work", "comparisons", "verified", "num_ops", "batches",
+            "total_work", "comparisons", "verified", "pruning_ratio",
+            "num_ops", "batches",
         }
 
     def test_measured_time_sums_wall_seconds(self):

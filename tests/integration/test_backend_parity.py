@@ -233,6 +233,31 @@ def test_system_fd_parity(fmt):
 
 
 @pytest.mark.parametrize("fmt", FORMATS)
+def test_system_dc_parity(fmt):
+    """System-level banded DC check: identical violations and identical
+    candidate/examined counters on all three backends."""
+    from repro.cleaning.denial import DenialConstraint, TuplePredicate
+
+    psi = DenialConstraint(
+        predicates=(
+            TuplePredicate("price", "<", "price"),
+            TuplePredicate("qty", ">", "qty"),
+        ),
+    )
+    results = {
+        backend: CleanDBSystem(
+            num_nodes=4, execution=backend, workers=WORKERS
+        ).check_dc(ORDERS, psi, fmt=fmt)
+        for backend in BACKENDS
+    }
+    assert all(r.ok for r in results.values())
+    counts = {r.output_count for r in results.values()}
+    assert len(counts) == 1 and counts != {0}
+    assert len({r.comparisons for r in results.values()}) == 1
+    assert len({r.verified for r in results.values()}) == 1
+
+
+@pytest.mark.parametrize("fmt", FORMATS)
 def test_system_dedup_parity(fmt):
     """System-level dedup: identical pairs and comparison counts."""
     results = {
@@ -296,6 +321,28 @@ class TestDeterminism:
                 block_on=("journal", "title"),
                 fmt="json",
             ).collect()
+        assert repr(row) == repr(par)
+
+    def test_dc_pipeline_byte_identical(self):
+        from repro.cleaning.denial import (
+            DenialConstraint,
+            TuplePredicate,
+            check_dc,
+            check_dc_parallel,
+        )
+
+        psi = DenialConstraint(
+            predicates=(
+                TuplePredicate("price", "<", "price"),
+                TuplePredicate("qty", ">", "qty"),
+            ),
+        )
+        row_cluster = Cluster(4)
+        ds = row_cluster.parallelize(ORDERS, fmt="csv", name="lineitem")
+        row = check_dc(ds, psi, strategy="banded").collect()
+        with Cluster(4, workers=WORKERS) as par_cluster:
+            par = check_dc_parallel(par_cluster, ORDERS, psi, fmt="csv").collect()
+            assert par_cluster.metrics.measured_time > 0.0
         assert repr(row) == repr(par)
 
     def test_dedup_without_rids_byte_identical(self):

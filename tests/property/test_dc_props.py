@@ -1,0 +1,200 @@
+"""Hypothesis: the planned DC kernel equals a naive O(n²) oracle everywhere.
+
+The banded plan (equality-prefix hashing + sorted range scan + residual
+verification) must be *lossless*: for random — and null-laden — record
+sets and random constraint shapes, the violation pair set equals a naive
+nested-loop oracle applying the same null-safe three-valued semantics, on
+the row, parallel (real worker processes), and columnar backends alike.
+The three backends must additionally agree pair-for-pair in order
+(byte-identical output), which the cross-backend test pins down.
+"""
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cleaning.denial import (
+    DenialConstraint,
+    SingleFilter,
+    TuplePredicate,
+    check_dc,
+    check_dc_columnar,
+    check_dc_parallel,
+)
+from repro.engine import Cluster
+
+WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "2"))
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# Small domains force collisions (equal keys, equal band values, both
+# orders violating) and the None weight injects nulls everywhere.
+values = st.one_of(st.none(), st.integers(min_value=-3, max_value=3))
+record_sets = st.lists(
+    st.fixed_dictionaries({"a": values, "b": values, "c": values}),
+    min_size=0,
+    max_size=12,
+)
+
+CONSTRAINTS = st.sampled_from(
+    [
+        # Rule-ψ shape: two ordered predicates (planner must pick a band).
+        DenialConstraint(
+            predicates=(
+                TuplePredicate("a", "<", "a"),
+                TuplePredicate("b", ">", "b"),
+            ),
+            name="psi",
+        ),
+        # ψ with a left filter.
+        DenialConstraint(
+            predicates=(
+                TuplePredicate("a", "<", "a"),
+                TuplePredicate("b", ">", "b"),
+            ),
+            left_filters=(SingleFilter("a", "<", 1),),
+            name="psi_capped",
+        ),
+        # Equality prefix + band + residual.
+        DenialConstraint(
+            predicates=(
+                TuplePredicate("c", "==", "c"),
+                TuplePredicate("a", "<=", "a"),
+                TuplePredicate("b", "!=", "b"),
+            ),
+            name="eq_band_res",
+        ),
+        # Symmetric (both orders can violate): exercises the
+        # exactly-once unordered-pair rule.
+        DenialConstraint(
+            predicates=(
+                TuplePredicate("a", "==", "a"),
+                TuplePredicate("b", "!=", "b"),
+            ),
+            name="fd_like",
+        ),
+        # Ordered-only, non-strict both ways (ties everywhere).
+        DenialConstraint(
+            predicates=(
+                TuplePredicate("a", ">=", "a"),
+                TuplePredicate("b", "<=", "b"),
+            ),
+            name="geq_leq",
+        ),
+        # No ordered predicate at all: degenerate band-less plan.
+        DenialConstraint(
+            predicates=(TuplePredicate("b", "!=", "b"),),
+            left_filters=(SingleFilter("c", ">=", 0),),
+            name="ne_only",
+        ),
+    ]
+)
+
+
+def _with_rids(records):
+    return [dict(r, _rid=i) for i, r in enumerate(records)]
+
+
+def oracle_pairs(records, constraint):
+    """Naive nested loop under the kernel's contract: null-safe
+    three-valued predicates, stable-rid self-pair skip, and each unordered
+    pair reported once (rid-ordered) when both orders violate."""
+    out = set()
+    for t1 in records:
+        for t2 in records:
+            if not constraint.violated_by(t1, t2):
+                continue
+            if t1["_rid"] > t2["_rid"] and constraint.violated_by(t2, t1):
+                continue
+            out.add((t1["_rid"], t2["_rid"]))
+    return out
+
+
+def rid_pairs(dataset):
+    return {(t1["_rid"], t2["_rid"]) for t1, t2 in dataset.collect()}
+
+
+@pytest.fixture(scope="module")
+def par_cluster():
+    """One worker pool for the whole module: process spawn is too costly to
+    repeat per Hypothesis example."""
+    with Cluster(num_nodes=3, workers=WORKERS) as cluster:
+        yield cluster
+
+
+@given(record_sets, CONSTRAINTS)
+@SETTINGS
+def test_row_banded_matches_oracle(records, constraint):
+    records = _with_rids(records)
+    cluster = Cluster(num_nodes=3)
+    ds = cluster.parallelize(records)
+    found = rid_pairs(check_dc(ds, constraint, strategy="banded"))
+    assert found == oracle_pairs(records, constraint)
+    # The banded scan never examines more than the pair universe.
+    assert cluster.metrics.verified <= cluster.metrics.comparisons
+
+
+@given(record_sets, CONSTRAINTS)
+@SETTINGS
+def test_parallel_banded_matches_oracle(par_cluster, records, constraint):
+    records = _with_rids(records)
+    found = rid_pairs(check_dc_parallel(par_cluster, records, constraint))
+    assert found == oracle_pairs(records, constraint)
+
+
+@given(record_sets, CONSTRAINTS)
+@SETTINGS
+def test_columnar_banded_matches_oracle(records, constraint):
+    records = _with_rids(records)
+    cluster = Cluster(num_nodes=3)
+    found = rid_pairs(check_dc_columnar(cluster, records, constraint))
+    assert found == oracle_pairs(records, constraint)
+
+
+@given(record_sets, CONSTRAINTS)
+@SETTINGS
+def test_backends_byte_identical(par_cluster, records, constraint):
+    """Row, parallel, and columnar produce the same pairs in the same
+    order — not merely the same set."""
+    records = _with_rids(records)
+    row_cluster = Cluster(num_nodes=3)
+    row = check_dc(
+        row_cluster.parallelize(records), constraint, strategy="banded"
+    ).collect()
+    par = check_dc_parallel(par_cluster, records, constraint).collect()
+    col_cluster = Cluster(num_nodes=3)
+    col = check_dc_columnar(col_cluster, records, constraint).collect()
+    assert par == row
+    assert col == row
+
+
+@given(record_sets)
+@SETTINGS
+def test_banded_agrees_with_matrix_on_asymmetric_rule(records):
+    """For a strict asymmetric rule (both orders can never violate at
+    once), the banded kernel and the all-pairs matrix strategy find the
+    identical violation set."""
+    constraint = DenialConstraint(
+        predicates=(
+            TuplePredicate("a", "<", "a"),
+            TuplePredicate("b", ">", "b"),
+        ),
+    )
+    records = _with_rids(records)
+    banded = rid_pairs(
+        check_dc(
+            Cluster(num_nodes=3).parallelize(records), constraint, "banded"
+        )
+    )
+    matrix = rid_pairs(
+        check_dc(
+            Cluster(num_nodes=3).parallelize(records), constraint, "matrix"
+        )
+    )
+    assert banded == matrix
