@@ -18,6 +18,7 @@ from typing import Any
 
 BENCH_PATH = Path(__file__).parent / "BENCH_fig8.json"
 BENCH_DC_PATH = Path(__file__).parent / "BENCH_dc.json"
+BENCH_FIG5_PATH = Path(__file__).parent / "BENCH_fig5.json"
 SCHEMA_VERSION = 1
 
 
@@ -67,3 +68,9 @@ def emit_fig8(section: str, payload: dict) -> dict:
 def emit_dc(section: str, payload: dict) -> dict:
     """Merge one DC figure's results into ``BENCH_dc.json``."""
     return emit_bench(BENCH_DC_PATH, section, payload)
+
+
+def emit_fig5(section: str, payload: dict) -> dict:
+    """Merge one unified-cleaning figure's results into ``BENCH_fig5.json``
+    (simulated table, measured parallel wall-clock, pinned-store bytes)."""
+    return emit_bench(BENCH_FIG5_PATH, section, payload)

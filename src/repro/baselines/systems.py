@@ -124,6 +124,8 @@ class System:
             shuffled_records=cluster.metrics.shuffled_records,
             comparisons=cluster.metrics.comparisons,
             verified=cluster.metrics.verified,
+            bytes_shipped=cluster.metrics.bytes_shipped,
+            ship_count=cluster.metrics.ship_count,
             grouping_time=cluster.metrics.phase_time("grouping")
             + cluster.metrics.phase_time("nest")
             + cluster.metrics.phase_time("fd"),

@@ -27,9 +27,9 @@ from typing import Any, Callable, Sequence
 
 from ..engine.cluster import Cluster
 from ..engine.dataset import Dataset
-from ..engine.parallel import is_picklable
+from ..engine.parallel import ShipLog, is_picklable
 from ..engine.partitioner import stable_hash
-from ..engine.shuffle import exchange
+from ..engine.shuffle import exchange_resident
 from ..sources.columnar import batch_partitions, round_robin_split
 from .blocking import key_blocks, make_blocks
 from .simjoin import (
@@ -204,6 +204,17 @@ def _block_key_func(block_on: BlockSpec) -> Callable[[dict], Any]:
     return lambda r, _attrs=attrs: tuple(r.get(a) for a in _attrs)
 
 
+def _dedup_rid_task(records: list[dict], start: int) -> list[dict]:
+    """Worker task: assign stable ``_rid``s to one resident partition.
+
+    ``start`` is the partition's offset in the partition-major numbering —
+    exactly what ``ensure_rids``'s zip_with_index produces after the same
+    round-robin placement.  The numbered partition replaces the raw one in
+    the store; the raw rows never return to the driver.
+    """
+    return [{**r, RID: start + i} for i, r in enumerate(records)]
+
+
 def _dedup_block_task(
     records: list[dict], block_on: BlockSpec, attributes: list[str]
 ) -> list[tuple[Any, list[dict]]]:
@@ -271,6 +282,13 @@ def _dedup_pairs_task(
     return out, join.stats
 
 
+def _count_block_records(part: list[tuple[Any, list[dict]]]) -> int:
+    """Worker task: record count of one exchanged block partition — prices
+    the merge stage (and lets a budget abort fire there) *before* the
+    CPU-heavy similarity phase dispatches, without shipping the blocks."""
+    return sum(len(records) for _, records in part)
+
+
 def deduplicate_parallel(
     cluster: Cluster,
     records: Sequence[dict],
@@ -280,26 +298,40 @@ def deduplicate_parallel(
     block_on: BlockSpec = None,
     fmt: str = "memory",
     filters: FilterConfig | None = None,
+    pinned: tuple[str, int] | None = None,
 ) -> Dataset:
     """Multi-process exact-key deduplication over real worker processes.
 
-    The blocking combine runs as one task per round-robin partition, blocks
-    travel through the real hash exchange, and the CPU-heavy pairwise
-    similarity phase runs as one kernel task per merged partition — this is
-    where multiple processes genuinely pay off, since string similarity
-    dominates the workload.  Output is **byte-identical** — same pairs,
-    same order — to :func:`deduplicate` with the same exact-key
-    ``block_on`` and ``filters`` over ``cluster.parallelize(records, ...)``.
+    Execution is handle-based: the input lives in the worker pool's
+    partition store (reusing the facade's pin when ``pinned`` names one),
+    rid assignment and the blocking combine run against handles and keep
+    their outputs worker-resident, blocks move through the *resident*
+    exchange as opaque blobs, and the CPU-heavy pairwise similarity phase
+    runs as one kernel task per merged partition — this is where multiple
+    processes genuinely pay off, since string similarity dominates the
+    workload.  Only the final :class:`DuplicatePair` lists come back to
+    the driver.  Output is **byte-identical** — same pairs, same order —
+    to :func:`deduplicate` with the same exact-key ``block_on`` and
+    ``filters`` over ``cluster.parallelize(records, ...)``.
 
     Falls back to the serial row path when the blocking spec or records
     cannot cross a process boundary (lambdas, unpicklable rows).
     """
+    from ..physical.parallel_exec import (
+        partition_offsets,
+        pin_is_warm,
+        resident_input,
+    )
+
     if not attributes:
         raise ValueError("deduplicate needs at least one comparison attribute")
     records = records if isinstance(records, list) else list(records)
     # Full-list check, not a sample: a late unpicklable record must take the
-    # documented fallback, never surface as a raw pickling error.
-    shippable = is_picklable(block_on) and is_picklable(records)
+    # documented fallback, never surface as a raw pickling error.  A warm
+    # pin skips the O(table) probe — picklability was proven at pin time.
+    shippable = is_picklable(block_on) and (
+        pin_is_warm(cluster, records, pinned) or is_picklable(records)
+    )
     if not shippable:
         ds = cluster.parallelize(records, fmt=fmt, name="input")
         return deduplicate(
@@ -309,83 +341,109 @@ def deduplicate_parallel(
 
     n = cluster.default_parallelism
     unit = cluster.cost_model.record_unit
-    parts = round_robin_split(records, n)
-    scan_unit = cluster.cost_model.scan_unit(fmt)
-    cluster.record_op(
-        "scan:input:par",
-        cluster.spread_over_nodes([len(p) * (unit + scan_unit) for p in parts]),
-    )
-
-    # Stable ids if the source has none: partition-major sequential numbering,
-    # exactly what ``ensure_rids``'s zip_with_index produces after the same
-    # round-robin placement.
-    has_rids = bool(records) and isinstance(records[0], dict) and RID in records[0]
-    if not has_rids:
-        next_rid = 0
-        numbered: list[list[dict]] = []
-        for part in parts:
-            numbered.append(
-                [{**r, RID: next_rid + i} for i, r in enumerate(part)]
-            )
-            next_rid += len(part)
-        parts = numbered
+    pool = cluster.pool
+    log = ShipLog(pool)
+    refs, owned = resident_input(cluster, records, pinned, name="dedup:input")
+    raw_pin = (refs[0].name, refs[0].version)
+    temp_names: list[tuple[str, int]] = []
+    try:
+        scan_unit = cluster.cost_model.scan_unit(fmt)
         cluster.record_op(
-            "dedup:assignRid:par",
-            cluster.spread_over_nodes([len(p) * unit for p in parts]),
+            "scan:input:par",
+            cluster.spread_over_nodes(
+                [max(r.count, 0) * (unit + scan_unit) for r in refs]
+            ),
+            **log.take(),
         )
 
-    pool = cluster.pool
-    block_spec = block_on
-    blocked = pool.run(
-        _dedup_block_task,
-        [(part, block_spec, list(attributes)) for part in parts],
-    )
-    cluster.record_op(
-        "grouping:key:parCombine",
-        cluster.spread_over_nodes([len(p) * unit for p in parts]),
-        wall_seconds=pool.last_wall_seconds,
-    )
-
-    wall_start = pool.wall_seconds_total
-    exchanged, moved, cost = exchange(cluster, blocked, n, kind="local", pool=pool)
-    cluster.record_op(
-        "grouping:key:parMerge",
-        cluster.spread_over_nodes(
-            [sum(len(recs) for _, recs in p) * unit for p in exchanged]
-        ),
-        shuffled_records=moved,
-        shuffle_cost=cost,
-        wall_seconds=pool.wall_seconds_total - wall_start,
-    )
-
-    compare_unit = cluster.cost_model.compare_unit
-    filter_unit = cluster.cost_model.filter_unit
-    results = pool.run(
-        _dedup_pairs_task,
-        [
-            (
-                part,
-                list(attributes),
-                metric,
-                theta,
-                compare_unit,
-                filter_unit,
-                resolve_filters(filters),
+        # Stable ids if the source has none: partition-major sequential
+        # numbering assigned in-worker (the raw rows never come back),
+        # exactly what ``ensure_rids``'s zip_with_index produces after the
+        # same round-robin placement.
+        has_rids = (
+            bool(records) and isinstance(records[0], dict) and RID in records[0]
+        )
+        if not has_rids:
+            offsets = partition_offsets([ref.count for ref in refs])
+            rid_name = ("dedup:rids", pool.next_version())
+            temp_names.append(rid_name)  # registered first: a partially
+            # failing stage must still have its stored siblings evicted
+            refs = pool.run(
+                _dedup_rid_task,
+                [(ref, offsets[i]) for i, ref in enumerate(refs)],
+                store_as=rid_name,
             )
-            for part in exchanged
-        ],
-    )
-    out_parts = [pairs for pairs, _ in results]
-    totals = JoinStats()
-    for _, stats in results:
-        totals.merge(stats)
-    cluster.charge_comparisons(totals.candidates)
-    cluster.charge_verified(totals.verified)
-    cluster.record_op(
-        "similarity:dedup",
-        cluster.spread_over_nodes([stats.work for _, stats in results]),
-        wall_seconds=pool.last_wall_seconds,
-    )
+            cluster.record_op(
+                "dedup:assignRid:par",
+                cluster.spread_over_nodes([max(r.count, 0) * unit for r in refs]),
+                **log.take(),
+            )
+
+        blocked_name = ("dedup:blocked", pool.next_version())
+        temp_names.append(blocked_name)
+        blocked = pool.run(
+            _dedup_block_task,
+            [(ref, block_on, list(attributes)) for ref in refs],
+            store_as=blocked_name,
+        )
+        cluster.record_op(
+            "grouping:key:parCombine",
+            cluster.spread_over_nodes([max(r.count, 0) * unit for r in refs]),
+            **log.take(),
+        )
+
+        exchanged_name = ("dedup:exchanged", pool.next_version())
+        temp_names.append(exchanged_name)
+        exchanged, moved, cost = exchange_resident(
+            cluster, pool, blocked, n, kind="local", store_as=exchanged_name
+        )
+        # Price (and budget-check) the merge stage *before* dispatching the
+        # expensive similarity phase; the record counts come from a cheap
+        # handle-based counting round, not from shipping the blocks back.
+        merged_counts = pool.run(_count_block_records, [(ref,) for ref in exchanged])
+        cluster.record_op(
+            "grouping:key:parMerge",
+            cluster.spread_over_nodes([c * unit for c in merged_counts]),
+            shuffled_records=moved,
+            shuffle_cost=cost,
+            **log.take(),
+        )
+
+        compare_unit = cluster.cost_model.compare_unit
+        filter_unit = cluster.cost_model.filter_unit
+        results = pool.run(
+            _dedup_pairs_task,
+            [
+                (
+                    ref,
+                    list(attributes),
+                    metric,
+                    theta,
+                    compare_unit,
+                    filter_unit,
+                    resolve_filters(filters),
+                )
+                for ref in exchanged
+            ],
+        )
+        out_parts = [pairs for pairs, _ in results]
+        totals = JoinStats()
+        for _, stats in results:
+            totals.merge(stats)
+        cluster.charge_comparisons(totals.candidates)
+        cluster.charge_verified(totals.verified)
+        cluster.record_op(
+            "similarity:dedup",
+            cluster.spread_over_nodes([stats.work for _, stats in results]),
+            **log.take(),
+        )
+    finally:
+        # Evict intermediates on every path — a failing task (or budget
+        # abort) must not leave table-sized state resident in the workers.
+        for name, version in temp_names:
+            pool.evict(name, version)
+        if owned:
+            pool.evict(*raw_pin)
     return Dataset(cluster, out_parts, op="dedup:parallel")
 
 

@@ -168,6 +168,11 @@ class CleanDB:
         self.seed = seed
         self._tables: dict[str, list[Any]] = {}
         self._formats: dict[str, str] = {}
+        # Monotonic per-table versions: the identity of a table's pinned
+        # partitions in the worker store.  Re-registration and repair bump
+        # the version and evict the old pins, so a stale handle can never
+        # serve pre-mutation rows.
+        self._table_versions: dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # Resource lifecycle
@@ -191,7 +196,15 @@ class CleanDB:
     def register_table(
         self, name: str, records: Sequence[Any], fmt: str = "memory"
     ) -> None:
-        """Register a data source.  Dict records get a stable ``_rid``."""
+        """Register a data source.  Dict records get a stable ``_rid``.
+
+        Under ``execution="parallel"`` the table's partitions are pinned
+        into the worker pool's partition store eagerly — queries and the
+        cleaning fast paths then reference them by handle instead of
+        shipping rows per task.  Re-registering a name bumps its version
+        and evicts the previous pins (and any cached derived state built
+        on them).
+        """
         rows = list(records)
         if rows and isinstance(rows[0], dict):
             rows = [
@@ -199,12 +212,82 @@ class CleanDB:
             ]
         self._tables[name] = rows
         self._formats[name] = fmt
+        self.refresh_table(name)
+
+    def _sync_pin(self, name: str) -> None:
+        """Make the worker store reflect the table's current version.
+
+        Evicts every older pinned version (plus derived caches keyed on
+        them) and pins the current rows.  A no-op outside the parallel
+        backend, for tables too exotic to pickle (the fast paths fall back
+        to serial for those anyway), and on empty-table edge cases.
+        """
+        if self.config.execution != "parallel":
+            return
+        from ..engine.parallel import ShipLog
+        from ..sources.columnar import round_robin_split
+
+        pool = self.cluster.pool
+        pin_name = f"table:{name}"
+        pool.evict(pin_name)
+        rows = self._tables[name]
+        log = ShipLog(pool)
+        parts = round_robin_split(rows, self.cluster.default_parallelism)
+        try:
+            # Pinning doubles as the picklability probe — a separate
+            # is_picklable(rows) pass would serialize the whole table a
+            # second time just to answer yes/no.
+            pool.pin(pin_name, self._table_versions[name], parts)
+        except Exception:
+            # Unpicklable rows: drop any partially pinned partitions; the
+            # fast paths and queries fall back to serial for this table.
+            pool.evict(pin_name)
+            return
+        self.cluster.record_op(
+            f"pin:{name}",
+            [0.0] * self.cluster.num_nodes,
+            **log.take(),
+        )
+
+    def _pinned_key(self, name: str) -> tuple[str, int] | None:
+        """The (store name, version) of a table's pins, for handle-based
+        dispatch — None outside the parallel backend."""
+        if self.config.execution != "parallel" or name not in self._table_versions:
+            return None
+        return (f"table:{name}", self._table_versions[name])
+
+    def _pinned_map(self) -> dict[str, tuple[str, int]]:
+        """Every registered table's pin identity (parallel backend only)."""
+        if self.config.execution != "parallel":
+            return {}
+        return {
+            name: (f"table:{name}", version)
+            for name, version in self._table_versions.items()
+        }
 
     def table(self, name: str) -> list[Any]:
+        """The registered rows.  Under ``execution="parallel"`` the worker
+        store holds a *snapshot* of these rows (pinned at registration,
+        like executor-cached RDD partitions) — after mutating them in
+        place, call :meth:`refresh_table` so queries see the edits."""
         try:
             return self._tables[name]
         except KeyError:
             raise SchemaError(f"unknown table {name!r}") from None
+
+    def refresh_table(self, name: str) -> None:
+        """Re-snapshot a table after in-place edits to its rows.
+
+        Bumps the table version, evicts the old pinned partitions and any
+        derived state cached on them, and re-pins the current rows — the
+        explicit coherence point for mutations that bypass
+        :meth:`register_table` / :meth:`repair_dc`.  Cheap no-op outside
+        the parallel backend.
+        """
+        if name not in self._tables:
+            raise SchemaError(f"unknown table {name!r}")
+        self._table_versions[name] = self._table_versions.get(name, 0) + 1
+        self._sync_pin(name)
 
     def profile(self, name: str, attr: str):
         """Key-frequency statistics for one attribute (§6's statistics pass).
@@ -254,10 +337,87 @@ class CleanDB:
                 ).collect()
             if self.config.execution == "parallel":
                 return check_dc_parallel(
-                    self.cluster, records, constraint, fmt=fmt
+                    self.cluster, records, constraint, fmt=fmt,
+                    pinned=self._pinned_key(table),
                 ).collect()
         ds = self.cluster.parallelize(records, fmt=fmt, name=table)
         return check_dc(ds, constraint, strategy=chosen).collect()
+
+    def check_fd(
+        self,
+        table: str,
+        lhs: Sequence[Any],
+        rhs: Sequence[Any],
+        keep_records: bool = True,
+    ) -> list[Any]:
+        """Find ``table``'s functional-dependency violations (LHS → RHS).
+
+        Runs on this instance's execution backend — the columnar fast path
+        under ``execution="vectorized"``, handle-based worker processes
+        under ``execution="parallel"`` (referencing the eagerly pinned
+        table) — with an identical violation set either way.
+        """
+        from ..cleaning.denial import check_fd, check_fd_columnar, check_fd_parallel
+
+        records = self.table(table)
+        fmt = self._formats.get(table, "memory")
+        if self.config.execution == "vectorized":
+            return check_fd_columnar(
+                self.cluster, records, list(lhs), list(rhs), fmt=fmt,
+                keep_records=keep_records, batch_size=self.config.batch_size,
+            ).collect()
+        if self.config.execution == "parallel":
+            return check_fd_parallel(
+                self.cluster, records, list(lhs), list(rhs), fmt=fmt,
+                keep_records=keep_records, pinned=self._pinned_key(table),
+            ).collect()
+        ds = self.cluster.parallelize(records, fmt=fmt, name=table)
+        return check_fd(
+            ds, list(lhs), list(rhs), grouping=self.config.grouping,
+            keep_records=keep_records,
+        ).collect()
+
+    def deduplicate(
+        self,
+        table: str,
+        attributes: Sequence[str],
+        metric: str = "LD",
+        theta: float = 0.8,
+        block_on: Any = None,
+    ) -> list[Any]:
+        """Find ``table``'s duplicate pairs (exact-key blocking).
+
+        Backend routing mirrors :meth:`check_fd`; the parallel backend
+        references the pinned table by handle and ships only the final
+        pairs back.
+        """
+        from ..cleaning.dedup import (
+            deduplicate,
+            deduplicate_columnar,
+            deduplicate_parallel,
+        )
+        from ..cleaning.simjoin import NO_FILTERS
+
+        filters = None if self.sim_filters else NO_FILTERS
+        records = self.table(table)
+        fmt = self._formats.get(table, "memory")
+        if self.config.execution == "vectorized":
+            return deduplicate_columnar(
+                self.cluster, records, list(attributes), metric=metric,
+                theta=theta, block_on=block_on, fmt=fmt,
+                batch_size=self.config.batch_size, filters=filters,
+            ).collect()
+        if self.config.execution == "parallel":
+            return deduplicate_parallel(
+                self.cluster, records, list(attributes), metric=metric,
+                theta=theta, block_on=block_on, fmt=fmt, filters=filters,
+                pinned=self._pinned_key(table),
+            ).collect()
+        ds = self.cluster.parallelize(records, fmt=fmt, name=table)
+        return deduplicate(
+            ds, list(attributes), metric=metric, theta=theta,
+            block_on=block_on, grouping=self.config.grouping, filters=filters,
+        ).collect()
 
     def repair_dc(
         self,
@@ -292,6 +452,9 @@ class CleanDB:
             violations=violations,
         )
         self._tables[table] = repaired
+        # The mutation invalidates every handle to the old rows — a stale
+        # handle can never serve pre-repair data.
+        self.refresh_table(table)
         return report
 
     # ------------------------------------------------------------------ #
@@ -373,6 +536,7 @@ class CleanDB:
                 dict(self._tables),
                 config=self.config,
                 functions=functions,
+                pinned_tables=self._pinned_map(),
             )
             raw = executor.execute(plan.dag)
         branches: dict[str, list[Any]] = {}

@@ -9,7 +9,14 @@ balancing) the paper's evaluation measures.
 from .cluster import Cluster
 from .dataset import Dataset
 from .metrics import CostModel, MetricsCollector, OpMetrics
-from .parallel import DEFAULT_WORKERS, WorkerPool, WorkerTaskError
+from .parallel import (
+    DEFAULT_WORKERS,
+    ShipLog,
+    StaleHandleError,
+    StoreRef,
+    WorkerPool,
+    WorkerTaskError,
+)
 from .partitioner import (
     HashPartitioner,
     Partitioner,
@@ -26,6 +33,9 @@ __all__ = [
     "MetricsCollector",
     "OpMetrics",
     "DEFAULT_WORKERS",
+    "ShipLog",
+    "StaleHandleError",
+    "StoreRef",
     "WorkerPool",
     "WorkerTaskError",
     "Partitioner",

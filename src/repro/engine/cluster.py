@@ -124,11 +124,14 @@ class Cluster:
         shuffled_records: int = 0,
         shuffle_cost: float = 0.0,
         wall_seconds: float = 0.0,
+        bytes_shipped: int = 0,
+        ship_count: int = 0,
     ) -> OpMetrics:
         """Record one operation's metrics and charge its simulated time.
 
-        ``wall_seconds`` is the *measured* worker-pool time for parallel
-        stages; it rides along in the metrics but never enters the simulated
+        ``wall_seconds`` / ``bytes_shipped`` / ``ship_count`` are the
+        *measured* worker-pool time and transport volume for parallel
+        stages; they ride along in the metrics but never enter the simulated
         clock.  Raises :class:`BudgetExceededError` if the cumulative
         simulated time passes the budget.
         """
@@ -138,6 +141,8 @@ class Cluster:
             shuffled_records=shuffled_records,
             shuffle_cost=shuffle_cost,
             wall_seconds=wall_seconds,
+            bytes_shipped=bytes_shipped,
+            ship_count=ship_count,
         )
         self.metrics.record(op)
         self._check_budget(name)

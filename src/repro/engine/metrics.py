@@ -115,9 +115,12 @@ class OpMetrics:
 
     ``batches`` is non-zero only for vectorized stages; it counts the column
     batches the stage dispatched over (0 means a row-at-a-time stage).
-    ``wall_seconds`` is non-zero only for stages that ran on the real worker
-    pool (``execution="parallel"``): the *measured* time the stage spent in
-    multi-process dispatch, reported alongside — never mixed into — the
+    ``wall_seconds``, ``bytes_shipped``, and ``ship_count`` are non-zero only
+    for stages that ran on the real worker pool (``execution="parallel"``):
+    the *measured* time the stage spent in multi-process dispatch and the
+    transport volume it moved across the process boundary (pickled task
+    args, pinned partitions, routed exchange blobs, and result payloads —
+    both directions).  All three report alongside — never mixed into — the
     simulated cost.
     """
 
@@ -127,6 +130,8 @@ class OpMetrics:
     shuffle_cost: float = 0.0
     batches: int = 0
     wall_seconds: float = 0.0
+    bytes_shipped: int = 0
+    ship_count: int = 0
 
     @property
     def max_node_work(self) -> float:
@@ -197,6 +202,20 @@ class MetricsCollector:
         summed."""
         return sum(op.wall_seconds for op in self.ops)
 
+    @property
+    def bytes_shipped(self) -> int:
+        """Real bytes moved across the worker-process boundary (0 on
+        simulated-only plans).  Handle-based stages ship handles and final
+        results; ship-per-task execution ships whole partitions — the gap
+        between the two is the pinned-store win the fig5 bench reports."""
+        return sum(op.bytes_shipped for op in self.ops)
+
+    @property
+    def ship_count(self) -> int:
+        """Payloads moved across the worker-process boundary (tasks, pins,
+        broadcasts, exchange blobs, and result payloads)."""
+        return sum(op.ship_count for op in self.ops)
+
     def phase_time(self, name_prefix: str) -> float:
         """Simulated time of all ops whose name starts with ``name_prefix``.
 
@@ -232,4 +251,6 @@ class MetricsCollector:
             "pruning_ratio": self.pruning_ratio,
             "num_ops": float(len(self.ops)),
             "batches": float(self.batches_processed),
+            "bytes_shipped": float(self.bytes_shipped),
+            "ship_count": float(self.ship_count),
         }

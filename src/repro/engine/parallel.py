@@ -1,41 +1,59 @@
-"""Real multi-process execution: the worker pool behind ``execution="parallel"``.
+"""Real multi-process execution: stateful workers with a partition store.
 
 The simulated :class:`~repro.engine.cluster.Cluster` models the paper's
 10-node Spark deployment but runs every plan on one Python process.  This
-module supplies the missing half: a :class:`WorkerPool` of real OS processes
-that physical stages dispatch picklable per-partition tasks to, so partitions
-actually execute concurrently while the cost model keeps accounting for the
-*simulated* 10-node placement.
+module supplies the missing half: a :class:`WorkerPool` of real OS
+processes.  Unlike a throwaway ``multiprocessing.Pool``, the workers are
+*addressable and stateful* — each one owns a task queue and a **partition
+store** of named, versioned partitions.  Data ships to a worker once (a
+``pin``), and every later stage references it by :class:`StoreRef` handle;
+stage outputs likewise stay worker-resident until the driver materializes
+the final result.  This mirrors what Spark executors give CleanDB (§7):
+RDD partitions stay in executor memory across the stages of a unified
+cleaning query instead of being re-serialized per stage.
 
 Design constraints, in order:
 
-* **Determinism** — ``run()`` returns results in task-submission order, so a
+* **Determinism** — ``run()`` returns results in task-submission order, and
+  task *i* (or the task for logical partition ``parts[i]``) always runs on
+  worker ``part % workers`` — the worker that holds that partition — so a
   parallel stage that mirrors a serial stage's per-partition logic produces
   byte-identical output (the backend-parity and determinism tests rely on
   this).
 * **Faithful errors** — an exception raised inside a worker is transported
-  back in an *envelope* (not via the pool's own exception pickling) and
-  re-raised on the driver as the original exception where possible; an
-  unpicklable exception degrades to :class:`WorkerTaskError` carrying the
-  original type name, message, and worker traceback — never a bare
-  ``PicklingError``.
-* **Clean aborts** — ``shutdown()`` terminates outstanding work immediately;
-  the cluster calls it when the simulated budget is exceeded so a
-  ``BudgetExceededError`` tears the whole pool down instead of leaking
+  back in an *envelope* (not via queue exception pickling) and re-raised on
+  the driver as the original exception where possible; an unpicklable
+  exception degrades to :class:`WorkerTaskError` carrying the original type
+  name, message, and worker traceback — never a bare ``PicklingError``.  A
+  worker *process death* surfaces as :class:`WorkerTaskError` and
+  invalidates the partition store (the dead worker's partitions are gone;
+  pinned tables must re-pin).
+* **Observable transport** — every payload that crosses the process
+  boundary (task args, pinned partitions, broadcasts, result blobs) is
+  pre-pickled by the sender, so the pool counts exactly how many bytes and
+  payloads each stage shipped (``bytes_shipped`` / ``ship_count``).  Handle
+  -based stages ship a few hundred bytes where ship-per-task execution
+  ships the whole table.
+* **Clean aborts** — ``shutdown()`` terminates outstanding work
+  immediately; the cluster calls it when the simulated budget is exceeded
+  so a ``BudgetExceededError`` tears the whole pool down instead of leaking
   processes.
 
-Tasks must be (function, args) pairs where the function is an importable
-module-level callable and the args are picklable — the executors' `supports`
-checks enforce this before a plan is claimed.
+Task functions must be importable module-level callables and all task
+arguments picklable — the executors' `supports` checks enforce this before
+a plan is claimed.  Any top-level argument that is a :class:`StoreRef` is
+resolved to the stored object inside the worker before the function runs.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import pickle
+import queue as queue_mod
 import sys
 import time
 import traceback
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
 from ..errors import ReproError
@@ -45,13 +63,27 @@ from ..errors import ReproError
 # and the point of the default is "really concurrent", not "fully loaded".
 DEFAULT_WORKERS = 2
 
+# How long the driver waits on the result queue before checking whether a
+# worker with outstanding tasks has died.
+_POLL_SECONDS = 0.2
+
+# Most-recently-used derived results (per pool) kept worker-resident.  Each
+# entry can hold table-sized state (e.g. a DC check's extraction vectors
+# plus a per-worker index broadcast), so a long-lived session sweeping many
+# distinct constraints must not grow worker memory without bound: the
+# least-recently-used entry's store partitions are evicted past this cap.
+DERIVED_CACHE_LIMIT = 16
+
 _OK = "ok"
+_STORED = "stored"  # result kept worker-resident; only a handle returns
+_STORED_RET = "stored_ret"  # kept worker-resident *and* returned
 _ERROR = "error"  # original exception survived a pickle round-trip
 _OPAQUE = "error_opaque"  # it did not; ship (type name, message, traceback)
 
 
 class WorkerTaskError(ReproError):
-    """A task failed in a worker and its exception could not be transported.
+    """A task failed in a worker and its exception could not be transported
+    — or the worker process itself died mid-task.
 
     Carries the worker-side exception type name and formatted traceback so
     the failure is still diagnosable on the driver.
@@ -63,12 +95,35 @@ class WorkerTaskError(ReproError):
         self.worker_traceback = worker_traceback
 
 
+class StaleHandleError(ReproError):
+    """A task referenced a :class:`StoreRef` whose partition is no longer
+    (or never was) resident on the worker — evicted, superseded by a newer
+    table version, or lost to a worker restart."""
+
+
+@dataclass(frozen=True)
+class StoreRef:
+    """A handle to one worker-resident partition.
+
+    ``part`` is the logical partition index (the worker holding it is
+    ``part % workers``); ``part == -1`` marks a *broadcast* — every worker
+    holds its own copy and resolves the handle locally.  ``count`` is the
+    record count when the stored object is sized (-1 otherwise); stages use
+    it for cost accounting without fetching the data back.
+    """
+
+    name: str
+    version: int
+    part: int
+    count: int = -1
+
+
 def _failure_envelope(exc: BaseException) -> tuple:
     """Package a worker-side exception for transport to the driver.
 
     A pickle *round trip* (not just ``dumps``) is attempted: exceptions whose
     ``__reduce__`` succeeds but whose constructor rejects the pickled args
-    would otherwise explode inside the pool's result handler.
+    would otherwise explode inside the result queue's feeder thread.
     """
     tb = traceback.format_exc()
     try:
@@ -78,17 +133,108 @@ def _failure_envelope(exc: BaseException) -> tuple:
         return (_OPAQUE, type(exc).__name__, str(exc), tb)
 
 
-def _call_task(payload: tuple[Callable, tuple]) -> tuple:
-    """Worker-side trampoline: run one task, never let an exception escape."""
-    func, args = payload
-    try:
-        return (_OK, func(*args))
-    except Exception as exc:  # noqa: BLE001 - every task error must travel back
-        return _failure_envelope(exc)
+class _BrokenBlob:
+    """Worker-side marker for a pin/func blob that failed to unpickle.
+
+    Stored in place of the object so the *next task touching it* can report
+    the real cause (e.g. a class importable on the driver but not in the
+    worker under the spawn start method) instead of a misleading
+    evicted-handle or missing-function error.
+    """
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: str):
+        self.error = error
+
+
+def _resolve_arg(store: dict, arg: Any) -> Any:
+    """Swap a :class:`StoreRef` argument for the stored partition."""
+    if isinstance(arg, StoreRef):
+        key = (arg.name, arg.version, arg.part)
+        try:
+            value = store[key]
+        except KeyError:
+            raise StaleHandleError(
+                f"no resident partition for handle {arg.name!r} "
+                f"v{arg.version} part {arg.part} (evicted or invalidated)"
+            ) from None
+        if isinstance(value, _BrokenBlob):
+            raise StaleHandleError(
+                f"partition {arg.name!r} v{arg.version} part {arg.part} "
+                f"failed to unpickle in the worker: {value.error}"
+            )
+        return value
+    return arg
+
+
+def _worker_main(inbox: Any, outbox: Any) -> None:
+    """Worker-process loop: execute commands from this worker's own queue.
+
+    The store maps ``(name, version, part)`` to the resident object; the
+    function registry maps driver-assigned ids to unpickled callables (each
+    function ships once per worker, not once per task).  No exception may
+    escape a task — every failure travels back as an envelope.
+    """
+    store: dict[tuple, Any] = {}
+    funcs: dict[int, Callable] = {}
+    while True:
+        cmd = inbox.get()
+        kind = cmd[0]
+        if kind == "task":
+            _, task_id, fid, args_blob, store_key, returning = cmd
+            try:
+                args = pickle.loads(args_blob)
+                resolved = tuple(_resolve_arg(store, a) for a in args)
+                func = funcs[fid]
+                if isinstance(func, _BrokenBlob):
+                    raise RuntimeError(
+                        f"task function {fid} failed to unpickle in the "
+                        f"worker: {func.error}"
+                    )
+                result = func(*resolved)
+                if store_key is not None:
+                    store[store_key] = result
+                    count = len(result) if hasattr(result, "__len__") else -1
+                    if returning:
+                        outbox.put((task_id, _STORED_RET, count, pickle.dumps(result)))
+                    else:
+                        outbox.put((task_id, _STORED, count))
+                else:
+                    outbox.put((task_id, _OK, pickle.dumps(result)))
+            except Exception as exc:  # noqa: BLE001 - every task error must travel back
+                outbox.put((task_id, *_failure_envelope(exc)))
+        elif kind == "pin":
+            _, name, version, part, blob = cmd
+            try:
+                store[(name, version, part)] = pickle.loads(blob)
+            except Exception as exc:  # noqa: BLE001 - a bad blob must not
+                # kill the worker; the next task on this handle reports why
+                store[(name, version, part)] = _BrokenBlob(repr(exc))
+        elif kind == "func":
+            _, fid, blob = cmd
+            try:
+                funcs[fid] = pickle.loads(blob)
+            except Exception as exc:  # noqa: BLE001 - tasks naming fid get
+                # a diagnosable envelope instead of a dead worker
+                funcs[fid] = _BrokenBlob(repr(exc))
+        elif kind == "evict":
+            _, name, version = cmd
+            for key in [k for k in store if k[0] == name and (version is None or k[1] == version)]:
+                del store[key]
+        elif kind == "evict_all":
+            store.clear()
+        elif kind == "stop":
+            break
+
+
+def _fetch_task(part: Any) -> Any:
+    """Identity task: materialize one stored partition on the driver."""
+    return part
 
 
 class WorkerPool:
-    """A pool of worker processes executing picklable per-partition tasks.
+    """Addressable, stateful worker processes with a partition store.
 
     Parameters
     ----------
@@ -99,6 +245,11 @@ class WorkerPool:
         (cheap, inherits loaded modules) and to the platform's own default
         elsewhere — macOS deliberately defaults to ``"spawn"`` because
         forked children crash inside Apple system frameworks.
+
+    Placement is deterministic: logical partition ``p`` (pinned or stored)
+    lives on worker ``p % workers``, and a task for partition ``p`` runs on
+    that same worker, so handles always resolve locally — there is no
+    remote read path.
     """
 
     def __init__(self, workers: int, start_method: str | None = None):
@@ -109,67 +260,341 @@ class WorkerPool:
         self.workers = workers
         self._ctx = multiprocessing.get_context(start_method)
         self.start_method = self._ctx.get_start_method()
-        self._pool = self._ctx.Pool(processes=workers)
+        self._outbox = self._ctx.Queue()
+        self._inboxes: list[Any] = []
+        self._procs: list[Any] = []
+        for _ in range(workers):
+            self._spawn_worker()
         self._closed = False
-        # Observability: how much real time the pool spent and how many
-        # tasks it ran.  ``last_wall_seconds`` is the duration of the most
-        # recent ``run()`` — stages attach it to their op metrics.
+        # Function registry: each distinct task function ships to a worker
+        # once and is referenced by id in every payload afterwards.
+        self._func_ids: dict[Callable, int] = {}
+        self._worker_funcs: list[set[int]] = [set() for _ in range(workers)]
+        # Driver-side view of the partition store: pinned/broadcast names
+        # and their handles, plus the derived-result cache fast paths use
+        # to skip whole stages on a warm store.
+        self._pins: dict[tuple[str, int], list[StoreRef]] = {}
+        self._derived: dict[tuple, dict] = {}
+        self._task_counter = 0
+        self._version_counter = 0
+        # Observability: real time spent waiting on worker results, tasks
+        # dispatched, and transport volume.  ``last_*`` describe the most
+        # recent public call — stages attach them to their op metrics.
         self.wall_seconds_total = 0.0
         self.last_wall_seconds = 0.0
         self.tasks_dispatched = 0
+        self.bytes_shipped_total = 0
+        self.ship_count_total = 0
+        self.last_bytes_shipped = 0
+        self.last_ship_count = 0
+
+    def _spawn_worker(self) -> None:
+        inbox = self._ctx.Queue()
+        proc = self._ctx.Process(
+            target=_worker_main, args=(inbox, self._outbox), daemon=True
+        )
+        proc.start()
+        self._inboxes.append(inbox)
+        self._procs.append(proc)
 
     # ------------------------------------------------------------------ #
     @property
     def closed(self) -> bool:
         return self._closed
 
-    def run(self, func: Callable, args_list: Iterable[Sequence[Any]]) -> list[Any]:
+    def next_version(self) -> int:
+        """A pool-unique version number for ad-hoc pins and stage outputs."""
+        self._version_counter += 1
+        return self._version_counter
+
+    def _ship(self, worker: int, command: tuple, nbytes: int) -> None:
+        self._inboxes[worker].put(command)
+        self.bytes_shipped_total += nbytes
+        self.ship_count_total += 1
+        self.last_bytes_shipped += nbytes
+        self.last_ship_count += 1
+
+    def _begin_call(self) -> None:
+        self.last_bytes_shipped = 0
+        self.last_ship_count = 0
+
+    def _ensure_func(self, worker: int, func: Callable) -> int:
+        fid = self._func_ids.get(func)
+        if fid is None:
+            fid = len(self._func_ids)
+            self._func_ids[func] = fid
+        if fid not in self._worker_funcs[worker]:
+            blob = pickle.dumps(func)
+            self._ship(worker, ("func", fid, blob), len(blob))
+            self._worker_funcs[worker].add(fid)
+        return fid
+
+    # ------------------------------------------------------------------ #
+    # Partition store
+    # ------------------------------------------------------------------ #
+    def pin(
+        self, name: str, version: int, partitions: Sequence[Any]
+    ) -> list[StoreRef]:
+        """Ship partitions to their owning workers once; return handles.
+
+        Partition ``p`` goes to worker ``p % workers``.  Commands on a
+        worker's queue are processed in order, so a task dispatched after
+        ``pin`` returns is guaranteed to see the stored partition.
+        """
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        self._begin_call()
+        refs: list[StoreRef] = []
+        for p, part in enumerate(partitions):
+            blob = pickle.dumps(part)
+            self._ship(p % self.workers, ("pin", name, version, p, blob), len(blob))
+            count = len(part) if hasattr(part, "__len__") else -1
+            refs.append(StoreRef(name, version, p, count))
+        self._pins[(name, version)] = refs
+        return refs
+
+    def broadcast(self, name: str, version: int, obj: Any) -> StoreRef:
+        """Ship one object to *every* worker; the handle resolves locally."""
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        self._begin_call()
+        blob = pickle.dumps(obj)
+        for w in range(self.workers):
+            self._ship(w, ("pin", name, version, -1, blob), len(blob))
+        ref = StoreRef(name, version, -1, -1)
+        self._pins[(name, version)] = [ref]
+        return ref
+
+    def pinned(self, name: str, version: int) -> list[StoreRef] | None:
+        """Handles of a previously pinned name/version, if still valid."""
+        return self._pins.get((name, version))
+
+    def evict(self, name: str, version: int | None = None) -> None:
+        """Drop a pinned/broadcast name (one version or all of them) from
+        every worker store, together with any derived results cached on top
+        of it.  Idempotent; safe on a closed pool."""
+        for key in [k for k in self._pins if k[0] == name and (version is None or k[1] == version)]:
+            del self._pins[key]
+        for key, payload in list(self._derived.items()):
+            if key[1] == name and (version is None or key[2] == version):
+                for dep_name, dep_version in payload.get("store_names", ()):
+                    self.evict(dep_name, dep_version)
+                self._derived.pop(key, None)
+        if self._closed:
+            return
+        for w in range(self.workers):
+            if self._procs[w].is_alive():
+                self._inboxes[w].put(("evict", name, version))
+
+    def derived(self, key: tuple) -> dict | None:
+        """Driver-side cache payload for a derived result (warm path)."""
+        payload = self._derived.get(key)
+        if payload is not None:
+            # LRU touch: re-insert at the back of the (ordered) dict.
+            self._derived[key] = self._derived.pop(key)
+        return payload
+
+    def register_derived(self, key: tuple, payload: dict) -> None:
+        """Cache a derived result keyed ``(kind, base_name, base_version,
+        ...)``.  ``payload["store_names"]`` lists the ``(name, version)``
+        store entries it owns; evicting the base evicts them too.  The
+        cache is bounded at :data:`DERIVED_CACHE_LIMIT` entries — the
+        least-recently-used entry (and its worker-resident state) is
+        evicted past the cap."""
+        self._derived[key] = payload
+        while len(self._derived) > DERIVED_CACHE_LIMIT:
+            oldest_key = next(iter(self._derived))
+            oldest = self._derived.pop(oldest_key)
+            for dep_name, dep_version in oldest.get("store_names", ()):
+                self.evict(dep_name, dep_version)
+
+    def invalidate_store(self) -> None:
+        """Forget every pin, broadcast, and derived result — and clear the
+        surviving workers' stores.  Called on worker death: a table whose
+        partitions partly lived on the dead worker is no longer resident."""
+        self._pins.clear()
+        self._derived.clear()
+        if self._closed:
+            return
+        for w in range(self.workers):
+            if self._procs[w].is_alive():
+                self._inboxes[w].put(("evict_all",))
+
+    def fetch(self, refs: Sequence[StoreRef]) -> list[Any]:
+        """Materialize stored partitions on the driver (final results)."""
+        return self.run(_fetch_task, [(ref,) for ref in refs])
+
+    # ------------------------------------------------------------------ #
+    # Task execution
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        func: Callable,
+        args_list: Iterable[Sequence[Any]],
+        store_as: tuple[str, int] | None = None,
+        parts: Sequence[int] | None = None,
+        returning: bool = False,
+    ) -> list[Any]:
         """Run ``func(*args)`` for each args tuple; results in submission order.
+
+        Any top-level :class:`StoreRef` argument is resolved to the resident
+        object inside the worker.  Task *i* targets logical partition
+        ``parts[i]`` when given, else the partition of its first handle
+        argument, else ``i`` — and always runs on that partition's worker.
+
+        With ``store_as=(name, version)``, each task's result stays
+        worker-resident under its partition index and a :class:`StoreRef`
+        (carrying the result's record count) is returned instead; add
+        ``returning=True`` to get ``(ref, result)`` pairs when the driver
+        needs the value too (e.g. to build a global index).
 
         The first failing task's exception is re-raised on the driver — the
         original exception instance when it pickles, otherwise a
         :class:`WorkerTaskError` naming the original type.  Either way the
-        worker traceback is attached as ``exc.worker_traceback``.
+        worker traceback is attached as ``exc.worker_traceback``.  A worker
+        process dying mid-batch raises :class:`WorkerTaskError` after the
+        dead worker is replaced and the partition store invalidated.
         """
         if self._closed:
             raise RuntimeError("worker pool is closed")
-        payloads = [(func, tuple(args)) for args in args_list]
+        self._begin_call()
         start = time.perf_counter()
+        pending: dict[int, tuple[int, int]] = {}  # task_id -> (index, worker)
+        task_parts: list[int] = []
+        tasks = [tuple(args) for args in args_list]
         try:
-            raw = self._pool.map(_call_task, payloads)
+            for i, args in enumerate(tasks):
+                part = self._part_for(args, i, parts)
+                worker = part % self.workers
+                fid = self._ensure_func(worker, func)
+                blob = pickle.dumps(args)
+                task_id = self._task_counter
+                self._task_counter += 1
+                store_key = (store_as[0], store_as[1], part) if store_as else None
+                self._ship(
+                    worker,
+                    ("task", task_id, fid, blob, store_key, returning),
+                    len(blob),
+                )
+                pending[task_id] = (i, worker)
+                task_parts.append(part)
+            replies = self._collect(pending)
         finally:
             self.last_wall_seconds = time.perf_counter() - start
             self.wall_seconds_total += self.last_wall_seconds
-            self.tasks_dispatched += len(payloads)
-        results: list[Any] = []
-        for item in raw:
-            tag = item[0]
+            self.tasks_dispatched += len(tasks)
+        results: list[Any] = [None] * len(tasks)
+        failure: tuple[int, tuple] | None = None
+        for task_id, reply in replies.items():
+            index = pending[task_id][0]
+            tag = reply[0]
             if tag == _OK:
-                results.append(item[1])
-            elif tag == _ERROR:
-                _, exc, tb = item
-                exc.worker_traceback = tb
-                raise exc
-            else:
-                _, type_name, message, tb = item
-                raise WorkerTaskError(
-                    f"{type_name} in worker: {message}",
-                    exc_type=type_name,
-                    worker_traceback=tb,
+                results[index] = pickle.loads(reply[1])
+            elif tag == _STORED:
+                results[index] = StoreRef(
+                    store_as[0], store_as[1], task_parts[index], reply[1]
                 )
+            elif tag == _STORED_RET:
+                ref = StoreRef(store_as[0], store_as[1], task_parts[index], reply[1])
+                results[index] = (ref, pickle.loads(reply[2]))
+            elif failure is None or index < failure[0]:
+                failure = (index, reply)
+        if failure is not None:
+            self._raise_failure(failure[1])
         return results
 
+    @staticmethod
+    def _part_for(args: tuple, index: int, parts: Sequence[int] | None) -> int:
+        if parts is not None:
+            return parts[index]
+        for arg in args:
+            if isinstance(arg, StoreRef) and arg.part >= 0:
+                return arg.part
+        return index
+
+    def _collect(self, pending: dict[int, tuple[int, int]]) -> dict[int, tuple]:
+        """Gather one reply per pending task, watching for worker death."""
+        replies: dict[int, tuple] = {}
+        waiting = set(pending)
+        while waiting:
+            try:
+                reply = self._outbox.get(timeout=_POLL_SECONDS)
+            except queue_mod.Empty:
+                dead = {
+                    worker
+                    for task_id, (_, worker) in pending.items()
+                    if task_id in waiting and not self._procs[worker].is_alive()
+                }
+                if dead:
+                    self._handle_worker_death(dead)
+                continue
+            task_id = reply[0]
+            if task_id not in waiting:
+                continue  # stale reply from an aborted batch
+            replies[task_id] = reply[1:]
+            waiting.discard(task_id)
+            # Bytes received back from workers are transport volume too.
+            for item in reply[1:]:
+                if isinstance(item, bytes):
+                    self.bytes_shipped_total += len(item)
+                    self.last_bytes_shipped += len(item)
+            self.ship_count_total += 1
+            self.last_ship_count += 1
+        return replies
+
+    def _handle_worker_death(self, dead: set[int]) -> None:
+        """Replace dead workers, invalidate the store, surface the failure."""
+        for worker in dead:
+            proc = self._procs[worker]
+            proc.join(timeout=1.0)
+            inbox = self._ctx.Queue()
+            replacement = self._ctx.Process(
+                target=_worker_main, args=(inbox, self._outbox), daemon=True
+            )
+            replacement.start()
+            self._inboxes[worker] = inbox
+            self._procs[worker] = replacement
+            self._worker_funcs[worker] = set()
+        self.invalidate_store()
+        lost = ", ".join(str(w) for w in sorted(dead))
+        raise WorkerTaskError(
+            f"worker process {lost} died mid-task; partition store invalidated "
+            f"(pinned tables must re-pin)",
+            exc_type="WorkerDied",
+        )
+
+    def _raise_failure(self, reply: tuple) -> None:
+        tag = reply[0]
+        if tag == _ERROR:
+            _, exc, tb = reply
+            exc.worker_traceback = tb
+            raise exc
+        _, type_name, message, tb = reply
+        raise WorkerTaskError(
+            f"{type_name} in worker: {message}",
+            exc_type=type_name,
+            worker_traceback=tb,
+        )
+
+    # ------------------------------------------------------------------ #
     def shutdown(self) -> None:
         """Terminate the workers immediately.  Idempotent.
 
-        Uses ``terminate`` rather than a graceful ``close`` so that a
-        mid-flight abort (budget exceeded, driver error) does not wait for
-        queued partitions to finish.
+        Uses ``terminate`` rather than a graceful stop so that a mid-flight
+        abort (budget exceeded, driver error) does not wait for queued
+        partitions to finish.  The partition store dies with the workers.
         """
         if not self._closed:
             self._closed = True
-            self._pool.terminate()
-            self._pool.join()
+            self._pins.clear()
+            self._derived.clear()
+            for proc in self._procs:
+                proc.terminate()
+            for proc in self._procs:
+                proc.join(timeout=2.0)
+            for q in [*self._inboxes, self._outbox]:
+                q.close()
+                q.cancel_join_thread()
 
     # ------------------------------------------------------------------ #
     def __enter__(self) -> "WorkerPool":
@@ -180,7 +605,38 @@ class WorkerPool:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "closed" if self._closed else "open"
-        return f"<WorkerPool workers={self.workers} {self.start_method} {state}>"
+        return (
+            f"<WorkerPool workers={self.workers} {self.start_method} {state} "
+            f"pins={len(self._pins)}>"
+        )
+
+
+class ShipLog:
+    """Delta-reader over a pool's transport counters for one op's metrics.
+
+    Stages bracket their pool calls with a ``ShipLog`` and attach
+    ``take()`` to ``record_op`` — measured wall seconds, bytes shipped, and
+    payload count for exactly that stage.
+    """
+
+    def __init__(self, pool: WorkerPool):
+        self.pool = pool
+        self.reset()
+
+    def reset(self) -> None:
+        self._wall = self.pool.wall_seconds_total
+        self._bytes = self.pool.bytes_shipped_total
+        self._ships = self.pool.ship_count_total
+
+    def take(self) -> dict[str, Any]:
+        """Counter deltas since construction/last take, as record_op kwargs."""
+        out = {
+            "wall_seconds": self.pool.wall_seconds_total - self._wall,
+            "bytes_shipped": self.pool.bytes_shipped_total - self._bytes,
+            "ship_count": self.pool.ship_count_total - self._ships,
+        }
+        self.reset()
+        return out
 
 
 def is_picklable(obj: Any) -> bool:

@@ -16,7 +16,12 @@ strategy is computed:
 engine.dataset.Dataset` operators use.  :func:`exchange` generalizes it into
 a *real* exchange: given a :class:`~repro.engine.parallel.WorkerPool`, the
 map-side routing of each input partition runs in a worker process, and the
-driver only merges the routed buckets.  Both paths produce byte-identical
+driver only merges the routed buckets.  :func:`exchange_resident` is the
+handle-based form the parallel fast paths use: input partitions are
+referenced by :class:`~repro.engine.parallel.StoreRef`, map-side workers
+pickle each target's bucket into an *opaque blob*, the driver forwards the
+blobs to the target workers without ever unpickling a row, and the merged
+target partitions stay worker-resident.  All paths produce byte-identical
 output: target partition *p* receives input partition *i*'s records before
 partition *i+1*'s, each in original order.
 """
@@ -24,10 +29,11 @@ partition *i+1*'s, each in original order.
 from __future__ import annotations
 
 import math
+import pickle
 from typing import Any, Callable
 
 from .cluster import Cluster
-from .parallel import WorkerPool
+from .parallel import StoreRef, WorkerPool
 from .partitioner import Partitioner, make_partitioner
 
 KeyedRecord = tuple[Any, Any]
@@ -98,6 +104,55 @@ def exchange(
     return out, total, cost
 
 
+def exchange_resident(
+    cluster: Cluster,
+    pool: WorkerPool,
+    refs: list[StoreRef],
+    num_partitions: int,
+    kind: str = "hash",
+    store_as: tuple[str, int] | None = None,
+) -> tuple[list[StoreRef], int, float]:
+    """Exchange worker-resident keyed partitions without driver materialization.
+
+    Map side: each input partition (referenced by handle) is routed in its
+    owning worker into per-target buckets, each pickled into one opaque
+    blob.  The driver forwards every target's blobs — in input-partition
+    order, the determinism contract — to the target partition's worker,
+    which unpickles and concatenates them into a resident partition.  Rows
+    therefore cross the process boundary exactly twice as bytes (worker →
+    driver → worker) and are never re-pickled into later task args.
+
+    ``store_as`` names the resident output (defaults to a fresh
+    ``exchange`` version).  Only ``"hash"`` and ``"local"`` routing are
+    supported — range routing needs a key sample, which would defeat the
+    point of keeping the data out of the driver.
+
+    Returns ``(target_refs, records_moved, shuffle_cost)`` exactly like
+    :func:`exchange`.
+    """
+    if kind == "sort":
+        raise ValueError("exchange_resident supports 'hash'/'local' routing only")
+    total = sum(max(ref.count, 0) for ref in refs)
+    partitioner, factor = _select_partitioner(cluster, [], num_partitions, kind)
+    if store_as is None:
+        store_as = ("exchange", pool.next_version())
+
+    routed = pool.run(
+        _route_to_blobs, [(ref, partitioner, num_partitions) for ref in refs]
+    )
+    out_refs = pool.run(
+        _merge_blob_buckets,
+        [
+            ([buckets[target] for buckets in routed],)
+            for target in range(num_partitions)
+        ],
+        parts=list(range(num_partitions)),
+        store_as=store_as,
+    )
+    cost = total * cluster.cost_model.shuffle_unit * factor
+    return out_refs, total, cost
+
+
 def _select_partitioner(
     cluster: Cluster,
     partitions: list[list[KeyedRecord]],
@@ -138,6 +193,26 @@ def _route_partition(
     for key, value in part:
         buckets[partitioner.partition(key)].append((key, value))
     return buckets
+
+
+def _route_to_blobs(
+    part: list[KeyedRecord], partitioner: Partitioner, num_partitions: int
+) -> list[bytes | None]:
+    """Map side of the resident exchange: route one partition, then pickle
+    each target's bucket into one opaque blob (``None`` for empty buckets,
+    so nothing ships for targets that receive no records)."""
+    buckets = _route_partition(part, partitioner, num_partitions)
+    return [pickle.dumps(bucket) if bucket else None for bucket in buckets]
+
+
+def _merge_blob_buckets(blobs: list[bytes | None]) -> list[KeyedRecord]:
+    """Reduce side of the resident exchange: unpickle and concatenate one
+    target's blobs in input-partition order."""
+    out: list[KeyedRecord] = []
+    for blob in blobs:
+        if blob is not None:
+            out.extend(pickle.loads(blob))
+    return out
 
 
 def _sample_keys(partitions: list[list[KeyedRecord]], limit: int) -> list[Any]:

@@ -23,6 +23,12 @@ class RunResult:
     verified: int = 0
     grouping_time: float = 0.0
     similarity_time: float = 0.0
+    # Real transport volume across the worker-process boundary (parallel
+    # backend only; 0 on simulated-only runs): bytes and payload count
+    # shipped between driver and workers — task args, pinned partitions,
+    # exchange blobs, and result payloads.
+    bytes_shipped: int = 0
+    ship_count: int = 0
     reason: str = ""
     extra: dict = field(default_factory=dict)
 

@@ -85,6 +85,7 @@ class Executor:
         catalog: dict[str, Any],
         config: PhysicalConfig | None = None,
         functions: dict[str, Callable] | None = None,
+        pinned_tables: dict[str, tuple[str, int]] | None = None,
     ):
         self.cluster = cluster
         self.catalog = catalog
@@ -92,6 +93,10 @@ class Executor:
         self.functions = dict(DEFAULT_FUNCTIONS)
         if functions:
             self.functions.update(functions)
+        # Tables already resident in the worker pool's partition store,
+        # mapped to their (store name, version) — the parallel backend
+        # references these by handle instead of pinning its own copy.
+        self.pinned_tables = dict(pinned_tables or {})
         self._scan_cache: dict[tuple[str, str], Dataset] = {}
         self._vectorized = None
         self._parallel = None

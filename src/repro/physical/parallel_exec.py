@@ -4,20 +4,24 @@ The row-path executor (``repro.physical.lower``) interprets every plan on
 the driver process; the vectorized backend (``repro.physical.vectorized``)
 changes the *representation* but still runs single-process.  This module
 keeps the row representation — per-row environment dictionaries, evaluated
-with the exact same ``evaluate`` — and changes *where* the work runs:
-each narrow stage (scan binding, filters, head projection, map-side
-combines) is dispatched partition-at-a-time to the cluster's
-:class:`~repro.engine.parallel.WorkerPool`, and every wide dependency goes
-through the real hash-partitioned :func:`~repro.engine.shuffle.exchange`
-(map-side routing in workers, deterministic merge on the driver).
+with the exact same ``evaluate`` — and changes *where* the work runs **and
+where the data lives**: each source table is pinned into the worker
+processes' partition store once, every narrow stage (scan binding, filters,
+head projection, map-side combines) dispatches :class:`~repro.engine.
+parallel.StoreRef` handles instead of row payloads, stage outputs stay
+worker-resident, and every wide dependency goes through the resident
+:func:`~repro.engine.shuffle.exchange_resident` (map-side routing in
+workers, opaque-blob forwarding through the driver, reduce-side merge in
+workers).  The driver materializes row data exactly once — when the final
+result is collected.
 
 Because workers execute the row path's own per-partition logic in the row
 path's own partition layout, results are identical to ``execution="row"`` —
 the three-way parity suite (``tests/integration/test_backend_parity.py``)
 enforces it.  Simulated cost is charged at row-path rates (the work is the
 same work); what changes is the *measured* side: every stage records the
-real wall-clock seconds its pool dispatch took (``OpMetrics.wall_seconds``,
-``MetricsCollector.measured_time``).
+real wall-clock seconds, bytes shipped, and payload count of its pool
+dispatch (``OpMetrics.wall_seconds`` / ``bytes_shipped`` / ``ship_count``).
 
 Plan support is partial and checked per subtree, exactly like the
 vectorized seam: a subtree is claimed only when every expression, function,
@@ -42,8 +46,8 @@ from ..algebra.operators import (
     SharedScanDAG,
 )
 from ..engine.dataset import Dataset
-from ..engine.parallel import is_picklable
-from ..engine.shuffle import exchange
+from ..engine.parallel import ShipLog, StoreRef, is_picklable
+from ..engine.shuffle import exchange_resident
 from ..errors import PlanningError, SchemaError
 from ..monoid.expressions import Call, Expr, evaluate
 from ..sources.columnar import round_robin_split
@@ -56,15 +60,22 @@ from .lower import _freeze, _is_collection
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from .lower import Executor
 
+#: Store name for all of one executor run's worker-resident intermediates
+#: (bound scans, filtered/keyed/exchanged/merged partitions).  Each stage
+#: gets its own version; the whole name is evicted when the run finishes so
+#: only pinned tables survive across runs.
+TEMP_STORE = "tmp:exec"
+
 
 # ---------------------------------------------------------------------- #
 # Worker-side task functions.
 #
 # Every task is a module-level function taking only picklable arguments, so
-# it can ship to a worker under any multiprocessing start method.  Each one
-# mirrors the corresponding row-path per-partition logic exactly — same
-# iteration order, same evaluate() — which is what makes the backend
-# result-identical to ``execution="row"``.
+# it can ship to a worker under any multiprocessing start method; partition
+# data arrives by StoreRef handle, resolved worker-side.  Each task mirrors
+# the corresponding row-path per-partition logic exactly — same iteration
+# order, same evaluate() — which is what makes the backend result-identical
+# to ``execution="row"``.
 # ---------------------------------------------------------------------- #
 
 def _bind_task(records: list[Any], var: str) -> list[dict]:
@@ -190,46 +201,128 @@ def _distinct_merge_task(part: list[tuple[Any, None]]) -> list[Any]:
 
 
 def _dc_extract_task(
-    records: list[dict], constraint: Any, rids: list[Any], part_idx: int
+    records: list[dict], constraint: Any, start_position: int, part_idx: int
 ) -> list[Any]:
     """Worker task: DC comparison-vector extraction for one partition.
 
     One :class:`~repro.cleaning.dc_kernel.DCRecord` per input record, in
     partition order — the exact per-partition state the row path's
-    ``check_dc_banded`` extracts, so the driver-side index build and the
-    downstream scan are byte-identical to serial execution.  Payloads are
-    compact ``(partition, row)`` references (the driver holds the
-    records): the index that later ships to every scan task then carries
-    only the fixed-width comparison vectors, not a copy of every row.
+    ``check_dc_banded`` extracts.  Row ids replicate ``_dc_rids``: the
+    record's ``_rid`` when present, else its partition-major position
+    (``start_position`` is this partition's offset in that numbering), so
+    the driver-side index build and the downstream scan are byte-identical
+    to serial execution.  Payloads are compact ``(partition, row)``
+    references (the driver holds the records): everything downstream
+    carries only the fixed-width comparison vectors, not a copy of any row.
     """
-    from ..cleaning.dc_kernel import extract_record
+    from ..cleaning.dc_kernel import RID, extract_record
 
-    return [
-        extract_record(constraint, rid, record, payload=(part_idx, i))
-        for i, (rid, record) in enumerate(zip(rids, records))
-    ]
+    out = []
+    for i, record in enumerate(records):
+        rid = record.get(RID)
+        if rid is None:
+            rid = start_position + i
+        out.append(extract_record(constraint, rid, record, payload=(part_idx, i)))
+    return out
 
 
 def _dc_scan_task(
-    left_entries: list[Any],
+    entries: list[Any],
     index: dict,
     plan: Any,
     compare_unit: float,
-) -> tuple[list[tuple[dict, dict]], tuple[int, int, float]]:
-    """Worker task: banded probe of one left partition against the index.
+    constraint: Any,
+) -> tuple[list[tuple[Any, Any]], tuple[int, int, float]]:
+    """Worker task: banded probe of one partition's entries against the index.
 
-    Runs the shared kernel scan (:func:`~repro.cleaning.dc_kernel.
+    Applies the left-side single-tuple filters in-worker (same predicate,
+    same order as the row path's ``left_passes`` pass — the driver prices
+    ``candidates`` from its own count over the extraction stream), then
+    runs the shared kernel scan (:func:`~repro.cleaning.dc_kernel.
     scan_partition`) — same candidate ranges, same residual checks, same
-    exactly-once pair rule as the row path.  Returns the violating
-    ``(t1, t2)`` record pairs plus ``(examined, pairs, work)`` counters
-    for the driver to merge into the cluster metrics.
+    exactly-once pair rule as the row path.  ``entries`` and ``index``
+    arrive by handle (the entries stay resident from the extraction stage;
+    the index is broadcast once per worker), so a warm re-run ships only
+    this task's few-hundred-byte argument tuple.  Returns the violating
+    ``(t1, t2)`` payload-reference pairs plus ``(examined, pairs, work)``
+    counters for the driver to merge into the cluster metrics.
     """
-    from ..cleaning.dc_kernel import DCStats, scan_partition
+    from ..cleaning.dc_kernel import DCStats, left_passes, scan_partition
 
+    left = [e for e in entries if left_passes(constraint, e)]
     stats = DCStats()
-    pairs = scan_partition(left_entries, index, plan, stats, compare_unit)
+    pairs = scan_partition(left, index, plan, stats, compare_unit)
     out = [(a.payload, b.payload) for a, b in pairs]
     return out, (stats.examined, stats.pairs, stats.work)
+
+
+def pin_is_warm(
+    cluster: Any, records: list[Any], pinned: tuple[str, int] | None
+) -> bool:
+    """Whether ``pinned`` resolves to resident handles covering ``records``.
+
+    A warm pin also proves the rows are picklable (they crossed the
+    process boundary when pinned), letting callers skip the O(table)
+    driver-side shippability probe on every warm call.
+    """
+    if pinned is None:
+        return False
+    refs = cluster.pool.pinned(*pinned)
+    return refs is not None and sum(max(r.count, 0) for r in refs) == len(records)
+
+
+def partition_offsets(counts: "Sequence[int]") -> list[int]:
+    """Each partition's starting position in the partition-major numbering
+    (the layout ``ensure_rids`` / ``_dc_rids`` assign row ids in)."""
+    offsets: list[int] = []
+    position = 0
+    for count in counts:
+        offsets.append(position)
+        position += max(count, 0)
+    return offsets
+
+
+def resident_input(
+    cluster: Any,
+    records: list[Any],
+    pinned: tuple[str, int] | None = None,
+    name: str = "input:par",
+    parts: list[list[Any]] | None = None,
+) -> tuple[list[StoreRef], bool]:
+    """Handles to ``records`` as worker-resident round-robin partitions.
+
+    The one entry point the cleaning fast paths use to get their input into
+    the partition store.  When ``pinned=(store_name, version)`` names a
+    table the facade already pinned, its handles are reused and nothing
+    ships (the warm path); if that pin is gone — pool restart, worker
+    death, budget abort — or its record count no longer matches, the
+    records are re-pinned *under the same identity* so later calls warm up
+    again, after evicting the old pins (which also drops any derived state
+    cached on that identity — a resized table must never probe a stale
+    index).  Without ``pinned`` the records are pinned under a fresh
+    ad-hoc version; the second element of the return value is True in that
+    case, telling the caller to evict the pin when the operation finishes.
+    ``parts`` lets a caller that already round-robin-split the records
+    (e.g. for a driver-side materialization mirror) avoid a second split.
+
+    The pinned store has snapshot semantics, like executor-cached RDD
+    partitions: an *in-place, same-length* edit to the registered row
+    objects is invisible to this freshness check — route mutations through
+    ``register_table`` / ``repair_dc`` / ``refresh_table``, which bump the
+    version.
+    """
+    pool = cluster.pool
+    n = cluster.default_parallelism
+    if pinned is not None:
+        if pin_is_warm(cluster, records, pinned):
+            return pool.pinned(*pinned), False
+        pool.evict(*pinned)
+        if parts is None:
+            parts = round_robin_split(records, n)
+        return pool.pin(pinned[0], pinned[1], parts), False
+    if parts is None:
+        parts = round_robin_split(records, n)
+    return pool.pin(name, pool.next_version(), parts), True
 
 
 # ---------------------------------------------------------------------- #
@@ -242,7 +335,10 @@ class ParallelExecutor:
     Created by (and sharing catalog/config/functions with) a row-path
     :class:`~repro.physical.lower.Executor`.  Partition layout mirrors the
     row path's round-robin ``parallelize`` so per-partition task logic can
-    reproduce row-path results exactly.
+    reproduce row-path results exactly.  Source tables named in the
+    executor's ``pinned_tables`` map reuse the facade's worker-resident
+    pins (warm); other tables are pinned for the duration of one ``run()``
+    and evicted with the rest of the temporaries afterwards.
     """
 
     def __init__(self, executor: "Executor"):
@@ -251,6 +347,9 @@ class ParallelExecutor:
         self.catalog = executor.catalog
         self.config = executor.config
         self.functions = executor.functions
+        self.pinned_tables: dict[str, tuple[str, int]] = dict(
+            getattr(executor, "pinned_tables", None) or {}
+        )
         # Only picklable functions can cross the process boundary; plans
         # calling anything else are left to the row path by supports().
         self._shippable = {
@@ -258,7 +357,7 @@ class ParallelExecutor:
             for name, func in self.functions.items()
             if is_picklable(func)
         }
-        self._scan_cache: dict[tuple[str, str], list[list[dict]]] = {}
+        self._scan_cache: dict[tuple[str, str], list[StoreRef]] = {}
         self._source_ok: dict[str, bool] = {}
 
     # -- support check ------------------------------------------------- #
@@ -323,21 +422,40 @@ class ParallelExecutor:
             source = self.catalog.get(table)
             # Whole-list check (cached per table): a single unpicklable
             # record anywhere must route the plan to the row path, never
-            # surface as a raw pickling error mid-dispatch.
-            ok = isinstance(source, list) and is_picklable(source)
+            # surface as a raw pickling error mid-dispatch.  A warm pin
+            # skips the O(table) probe — picklability was proven when the
+            # rows crossed the process boundary at pin time.
+            ok = isinstance(source, list) and (
+                pin_is_warm(self.cluster, source, self.pinned_tables.get(table))
+                or is_picklable(source)
+            )
             self._source_ok[table] = ok
         return self._source_ok[table]
 
     # -- execution ----------------------------------------------------- #
     def run(self, op: AlgebraOp) -> Any:
         """Execute a supported plan; returns the same shapes as the row path
-        (a Dataset of environments, a folded scalar, or a branch dict)."""
-        if isinstance(op, SharedScanDAG):
-            return self._dag(op)
-        result = self._execute(op, {})
-        if isinstance(result, EnvPartitions):
-            return result.to_dataset(self.cluster)
-        return result
+        (a Dataset of environments, a folded scalar, or a branch dict).
+        Worker-resident intermediates are evicted on the way out — only
+        pinned tables stay resident between runs."""
+        try:
+            if isinstance(op, SharedScanDAG):
+                return self._dag(op)
+            result = self._execute(op, {})
+            if isinstance(result, EnvPartitions):
+                return self._materialize(result)
+            return result
+        finally:
+            self._evict_temps()
+
+    def _evict_temps(self) -> None:
+        if self.cluster.has_pool:
+            self.cluster.pool.evict(TEMP_STORE)
+        self._scan_cache.clear()
+
+    def _temp(self) -> tuple[str, int]:
+        """A fresh run-scoped store name for one stage's output."""
+        return (TEMP_STORE, self.cluster.pool.next_version())
 
     def _execute(self, op: AlgebraOp, nest_cache: dict[str, "EnvPartitions"]) -> Any:
         if isinstance(op, Scan):
@@ -356,7 +474,7 @@ class ParallelExecutor:
         raise PlanningError(f"no parallel translation for {type(op).__name__}")
 
     # -- operators ------------------------------------------------------ #
-    def _scan(self, op: Scan) -> list[list[dict]]:
+    def _scan(self, op: Scan) -> list[StoreRef]:
         cache_key = (op.table, op.var)
         if cache_key in self._scan_cache:
             return self._scan_cache[cache_key]
@@ -364,54 +482,69 @@ class ParallelExecutor:
             source = self.catalog[op.table]
         except KeyError:
             raise SchemaError(f"unknown table {op.table!r}") from None
-        # The row path's partition layout (``Cluster.parallelize`` defaults),
-        # so per-partition task logic sees exactly the row path's data.
-        parts = round_robin_split(list(source), self.cluster.default_parallelism)
         pool = self.cluster.pool
-        bound = pool.run(_bind_task, [(part, op.var) for part in parts])
+        log = ShipLog(pool)
+        pinned = self.pinned_tables.get(op.table)
+        if pinned is not None:
+            # Same freshness contract as the cleaning fast paths (count
+            # check, evict-then-re-pin on mismatch): queries and fast paths
+            # must agree on what "resident" means for a table.
+            raw, _ = resident_input(self.cluster, list(source), pinned=pinned)
+        else:
+            # The row path's partition layout (``Cluster.parallelize``
+            # defaults), pinned for the duration of this run.
+            parts = round_robin_split(list(source), self.cluster.default_parallelism)
+            name, version = self._temp()
+            raw = pool.pin(name, version, parts)
+        bound = pool.run(
+            _bind_task, [(ref, op.var) for ref in raw], store_as=self._temp()
+        )
         unit = self.cluster.cost_model.record_unit + self.cluster.cost_model.scan_unit(op.fmt)
         self._charge(
             f"scan:{op.table}:par",
-            [len(p) * unit for p in bound],
-            wall=pool.last_wall_seconds,
+            [max(r.count, 0) * unit for r in raw],
+            log=log,
         )
         self._scan_cache[cache_key] = bound
         return bound
 
     def _select(self, op: Select, nest_cache: dict) -> "EnvPartitions":
-        child = self._child_partitions(op.child, nest_cache)
+        child = self._child_refs(op.child, nest_cache)
         pool = self.cluster.pool
+        log = ShipLog(pool)
         funcs = self._funcs_for(op.predicate)
         out = pool.run(
-            _filter_task, [(part, op.predicate, funcs) for part in child]
+            _filter_task,
+            [(ref, op.predicate, funcs) for ref in child],
+            store_as=self._temp(),
         )
         unit = self.cluster.cost_model.record_unit
-        self._charge(
-            "select:par", [len(p) * unit for p in child], wall=pool.last_wall_seconds
-        )
+        self._charge("select:par", [max(r.count, 0) * unit for r in child], log=log)
         return EnvPartitions(out)
 
     def _join(self, op: Join, nest_cache: dict) -> "EnvPartitions":
-        left = self._child_partitions(op.left, nest_cache)
-        right = self._child_partitions(op.right, nest_cache)
+        left = self._child_refs(op.left, nest_cache)
+        right = self._child_refs(op.right, nest_cache)
         pool = self.cluster.pool
         n = self.cluster.default_parallelism
         residual = op.predicate if op.predicate != TRUE else None
 
-        wall_start = pool.wall_seconds_total
+        log = ShipLog(pool)
         keyed_l = pool.run(
             _keyed_task,
-            [(p, op.left_keys, self._funcs_for(*op.left_keys)) for p in left],
+            [(ref, op.left_keys, self._funcs_for(*op.left_keys)) for ref in left],
+            store_as=self._temp(),
         )
         keyed_r = pool.run(
             _keyed_task,
-            [(p, op.right_keys, self._funcs_for(*op.right_keys)) for p in right],
+            [(ref, op.right_keys, self._funcs_for(*op.right_keys)) for ref in right],
+            store_as=self._temp(),
         )
-        l_parts, moved_l, cost_l = exchange(
-            self.cluster, keyed_l, n, kind="hash", pool=pool
+        l_parts, moved_l, cost_l = exchange_resident(
+            self.cluster, pool, keyed_l, n, kind="hash", store_as=self._temp()
         )
-        r_parts, moved_r, cost_r = exchange(
-            self.cluster, keyed_r, n, kind="hash", pool=pool
+        r_parts, moved_r, cost_r = exchange_resident(
+            self.cluster, pool, keyed_r, n, kind="hash", store_as=self._temp()
         )
         merged = pool.run(
             _join_probe_task,
@@ -419,11 +552,11 @@ class ParallelExecutor:
                 (lp, rp, residual, self._funcs_for(residual))
                 for lp, rp in zip(l_parts, r_parts)
             ],
+            store_as=self._temp(),
         )
-        wall = pool.wall_seconds_total - wall_start
         unit = self.cluster.cost_model.record_unit
         per_part = [
-            (len(lp) + len(rp) + len(out)) * unit
+            (max(lp.count, 0) + max(rp.count, 0) + max(out.count, 0)) * unit
             for lp, rp, out in zip(l_parts, r_parts, merged)
         ]
         self._charge(
@@ -431,101 +564,102 @@ class ParallelExecutor:
             per_part,
             shuffled=moved_l + moved_r,
             cost=cost_l + cost_r,
-            wall=wall,
+            log=log,
         )
         return EnvPartitions(merged)
 
     def _nest(self, op: Nest, nest_cache: dict) -> "EnvPartitions":
-        child = self._child_partitions(op.child, nest_cache)
+        child = self._child_refs(op.child, nest_cache)
         pool = self.cluster.pool
         n = self.cluster.default_parallelism
         unit = self.cluster.cost_model.record_unit
 
+        log = ShipLog(pool)
         combine_funcs = self._funcs_for(op.key, *(head for _, _, head in op.aggregates))
         combined = pool.run(
             _nest_combine_task,
-            [(part, op.key, op.aggregates, combine_funcs) for part in child],
+            [(ref, op.key, op.aggregates, combine_funcs) for ref in child],
+            store_as=self._temp(),
         )
         self._charge(
-            "nest:parCombine",
-            [len(p) * unit for p in child],
-            wall=pool.last_wall_seconds,
+            "nest:parCombine", [max(r.count, 0) * unit for r in child], log=log
         )
 
-        wall_start = pool.wall_seconds_total
-        exchanged, moved, cost = exchange(
-            self.cluster, combined, n, kind="local", pool=pool
+        exchanged, moved, cost = exchange_resident(
+            self.cluster, pool, combined, n, kind="local", store_as=self._temp()
         )
         group_pred = op.group_predicate if op.group_predicate != TRUE else None
         merged = pool.run(
             _nest_merge_task,
             [
-                (part, op.aggregates, op.var, group_pred, self._funcs_for(group_pred))
-                for part in exchanged
+                (ref, op.aggregates, op.var, group_pred, self._funcs_for(group_pred))
+                for ref in exchanged
             ],
+            store_as=self._temp(),
         )
-        wall = pool.wall_seconds_total - wall_start
         self._charge(
             "nest:parMerge",
-            [len(p) * unit for p in exchanged],
+            [max(r.count, 0) * unit for r in exchanged],
             shuffled=moved,
             cost=cost,
-            wall=wall,
+            log=log,
         )
         return EnvPartitions(merged)
 
     def _reduce(self, op: Reduce, nest_cache: dict) -> Any:
         child_result = self._execute(op.child, nest_cache)
-        parts = child_result.parts
+        refs = child_result.refs
         pool = self.cluster.pool
         pred = op.predicate if op.predicate != TRUE else None
         head_funcs = self._funcs_for(pred, op.head)
+        log = ShipLog(pool)
         heads = pool.run(
-            _head_task, [(part, pred, op.head, head_funcs) for part in parts]
+            _head_task,
+            [(ref, pred, op.head, head_funcs) for ref in refs],
+            store_as=self._temp(),
         )
         unit = self.cluster.cost_model.record_unit
         self._charge(
-            "reduce:parHead",
-            [len(p) * unit for p in parts],
-            wall=pool.last_wall_seconds,
+            "reduce:parHead", [max(r.count, 0) * unit for r in refs], log=log
         )
         if _is_collection(op.monoid):
             if op.monoid.idempotent:
                 return self._distinct(heads)
-            return Dataset(self.cluster, heads, op="reduce:parHead")
-        partials = pool.run(_fold_task, [(values, op.monoid) for values in heads])
+            return self._materialize(EnvPartitions(heads), op="reduce:parHead")
+        partials = pool.run(_fold_task, [(ref, op.monoid) for ref in heads])
         self._charge(
-            "reduce:parFold",
-            [len(p) * unit for p in heads],
-            wall=pool.last_wall_seconds,
+            "reduce:parFold", [max(r.count, 0) * unit for r in heads], log=log
         )
         result = op.monoid.zero()
         for partial in partials:
             result = op.monoid.merge(result, partial)
         return result
 
-    def _distinct(self, head_parts: list[list[Any]]) -> Dataset:
+    def _distinct(self, head_refs: list[StoreRef]) -> Dataset:
         pool = self.cluster.pool
         n = self.cluster.default_parallelism
         unit = self.cluster.cost_model.record_unit
-        wall_start = pool.wall_seconds_total
-        local = pool.run(_distinct_local_task, [(values,) for values in head_parts])
-        exchanged, moved, cost = exchange(
-            self.cluster, local, n, kind="local", pool=pool
+        log = ShipLog(pool)
+        local = pool.run(
+            _distinct_local_task, [(ref,) for ref in head_refs], store_as=self._temp()
         )
-        merged = pool.run(_distinct_merge_task, [(part,) for part in exchanged])
-        wall = pool.wall_seconds_total - wall_start
+        exchanged, moved, cost = exchange_resident(
+            self.cluster, pool, local, n, kind="local", store_as=self._temp()
+        )
+        # Final stage: the merged distinct values come straight back to the
+        # driver — this is the result materialization.
+        merged = pool.run(_distinct_merge_task, [(ref,) for ref in exchanged])
         self._charge(
             "reduce:parDistinct",
-            [len(p) * unit for p in exchanged],
+            [max(r.count, 0) * unit for r in exchanged],
             shuffled=moved,
             cost=cost,
-            wall=wall,
+            log=log,
         )
         return Dataset(self.cluster, merged, op="reduce:parDistinct")
 
     def _dag(self, op: SharedScanDAG) -> dict[str, Any]:
-        self._scan(op.scan)  # materialize once; branch scans hit the cache
+        self._scan(op.scan)  # pin + bind once; branch scans hit the cache
         names = op.branch_names or tuple(
             f"branch{i}" for i in range(len(op.branches))
         )
@@ -534,18 +668,30 @@ class ParallelExecutor:
         for name, branch in zip(names, op.branches):
             result = self._execute(branch, nest_cache)
             if isinstance(result, EnvPartitions):
-                result = result.to_dataset(self.cluster)
+                result = self._materialize(result)
             results[name] = result
         return results
 
     # -- helpers -------------------------------------------------------- #
-    def _child_partitions(self, op: AlgebraOp, nest_cache: dict) -> list[list[dict]]:
+    def _materialize(self, result: "EnvPartitions", op: str = "parallel") -> Dataset:
+        """Fetch worker-resident partitions into a driver-side Dataset.
+
+        The one place rows cross back to the driver; its transport volume
+        is recorded as ``collect:par`` (no simulated work — every operator
+        already paid for its rows)."""
+        pool = self.cluster.pool
+        log = ShipLog(pool)
+        parts = pool.fetch(result.refs)
+        self._charge("collect:par", [0.0] * len(parts), log=log)
+        return Dataset(self.cluster, parts, op=op)
+
+    def _child_refs(self, op: AlgebraOp, nest_cache: dict) -> list[StoreRef]:
         result = self._execute(op, nest_cache)
         if not isinstance(result, EnvPartitions):
             raise PlanningError(
                 f"parallel operator expected partitions, got {type(result).__name__}"
             )
-        return result.parts
+        return result.refs
 
     def _charge(
         self,
@@ -553,29 +699,27 @@ class ParallelExecutor:
         per_part_work: Sequence[float],
         shuffled: int = 0,
         cost: float = 0.0,
-        wall: float = 0.0,
+        log: ShipLog | None = None,
     ) -> None:
+        transport = log.take() if log is not None else {}
         self.cluster.record_op(
             name,
             self.cluster.spread_over_nodes(per_part_work),
             shuffled_records=shuffled,
             shuffle_cost=cost,
-            wall_seconds=wall,
+            **transport,
         )
 
 
 class EnvPartitions:
-    """A collection-valued intermediate: row-environment partitions."""
+    """A collection-valued intermediate: handles to worker-resident
+    row-environment partitions (``ref.count`` carries each partition's
+    length for cost accounting)."""
 
-    __slots__ = ("parts",)
+    __slots__ = ("refs",)
 
-    def __init__(self, parts: list[list[dict]]):
-        self.parts = parts
-
-    def to_dataset(self, cluster: Any) -> Dataset:
-        """Wrap the partitions for collection/driver consumers.  No cost is
-        charged: every operator already paid for its rows."""
-        return Dataset(cluster, self.parts, op="parallel")
+    def __init__(self, refs: list[StoreRef]):
+        self.refs = refs
 
 
 def _call_names(expr: Expr) -> set[str]:

@@ -74,7 +74,7 @@ class TestMetricsCollector:
         assert set(summary) == {
             "simulated_time", "measured_time", "shuffled_records",
             "total_work", "comparisons", "verified", "pruning_ratio",
-            "num_ops", "batches",
+            "num_ops", "batches", "bytes_shipped", "ship_count",
         }
 
     def test_measured_time_sums_wall_seconds(self):

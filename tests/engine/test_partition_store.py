@@ -1,0 +1,201 @@
+"""Unit tests for the worker-resident partition store.
+
+The load-bearing contracts: data pinned once is referenced by handle ever
+after (no row re-shipping), task functions register once per worker instead
+of riding in every payload, eviction and version bumps make stale handles
+*fail* rather than serve old rows, and a worker death invalidates the store
+instead of silently losing partitions.
+"""
+
+import os
+
+import pytest
+
+from repro.engine import Cluster, StaleHandleError, StoreRef, WorkerPool, WorkerTaskError
+from repro.engine.shuffle import exchange, exchange_resident
+
+
+# --------------------------------------------------------------------- #
+# Module-level task functions (tasks must be importable in workers).
+# --------------------------------------------------------------------- #
+
+def _double(xs):
+    return [x * 2 for x in xs]
+
+
+def _concat(a, b):
+    return a + b
+
+
+def _lookup(index, xs):
+    return [index["base"] + x for x in xs]
+
+
+def _die(_):
+    os._exit(17)
+
+
+def _sum_part(part):
+    return sum(part)
+
+
+@pytest.fixture
+def pool():
+    p = WorkerPool(2)
+    yield p
+    p.shutdown()
+
+
+class TestPinAndHandles:
+    def test_pin_returns_counted_handles(self, pool):
+        refs = pool.pin("t", 1, [[1, 2, 3], [4, 5], [6]])
+        assert [r.part for r in refs] == [0, 1, 2]
+        assert [r.count for r in refs] == [3, 2, 1]
+        assert pool.pinned("t", 1) == refs
+
+    def test_tasks_resolve_handles_worker_side(self, pool):
+        refs = pool.pin("t", 1, [[1, 2], [3]])
+        assert pool.run(_double, [(r,) for r in refs]) == [[2, 4], [6]]
+
+    def test_store_as_keeps_results_resident(self, pool):
+        refs = pool.pin("t", 1, [[1, 2], [3]])
+        out = pool.run(_double, [(r,) for r in refs], store_as=("d", 7))
+        assert all(isinstance(r, StoreRef) for r in out)
+        assert [r.count for r in out] == [2, 1]
+        # Chained stage: handle output feeds handle input, no driver data.
+        chained = pool.run(_concat, [(out[0], refs[0])])
+        assert chained == [[2, 4, 1, 2]]
+        assert pool.fetch(out) == [[2, 4], [6]]
+
+    def test_broadcast_resolves_on_every_worker(self, pool):
+        refs = pool.pin("t", 1, [[1], [2], [3], [4]])
+        idx = pool.broadcast("idx", 1, {"base": 100})
+        assert pool.run(_lookup, [(idx, r) for r in refs]) == [
+            [101], [102], [103], [104],
+        ]
+
+    def test_handles_ship_instead_of_rows(self, pool):
+        big = [
+            [{"payload": f"x{p}-{i}" * 100, "i": i} for i in range(50)]
+            for p in range(4)
+        ]
+        refs = pool.pin("big", 1, big)
+        pinned_bytes = pool.bytes_shipped_total
+        before = pool.bytes_shipped_total
+        pool.run(_sum_len, [(r,) for r in refs])
+        handle_bytes = pool.bytes_shipped_total - before
+        # Dispatching against handles costs a tiny fraction of re-shipping.
+        assert handle_bytes < pinned_bytes / 20
+
+
+def _sum_len(part):
+    return len(part)
+
+
+class TestEvictionAndVersions:
+    def test_stale_handle_raises_after_evict(self, pool):
+        refs = pool.pin("t", 3, [[1], [2]])
+        pool.evict("t", 3)
+        assert pool.pinned("t", 3) is None
+        with pytest.raises(StaleHandleError, match="evicted or invalidated"):
+            pool.fetch(refs)
+
+    def test_evict_one_version_keeps_others(self, pool):
+        old = pool.pin("t", 1, [[1], [2]])
+        new = pool.pin("t", 2, [[10], [20]])
+        pool.evict("t", 1)
+        with pytest.raises(StaleHandleError):
+            pool.fetch(old)
+        assert pool.fetch(new) == [[10], [20]]
+
+    def test_derived_cache_is_bounded_lru(self, pool):
+        from repro.engine.parallel import DERIVED_CACHE_LIMIT
+
+        refs = pool.pin("t", 1, [[1], [2]])
+        stored = {}
+        for i in range(DERIVED_CACHE_LIMIT + 4):
+            out = pool.run(_double, [(r,) for r in refs], store_as=("drv", i))
+            stored[i] = out
+            pool.register_derived(
+                ("dc", "t", 1, f"rule{i}"),
+                {"entry_refs": out, "store_names": [("drv", i)]},
+            )
+        # The oldest entries fell off the cap, and their worker-resident
+        # partitions were evicted with them.
+        assert pool.derived(("dc", "t", 1, "rule0")) is None
+        with pytest.raises(StaleHandleError):
+            pool.fetch(stored[0])
+        # The newest entries survive, data intact.
+        last = DERIVED_CACHE_LIMIT + 3
+        assert pool.derived(("dc", "t", 1, f"rule{last}")) is not None
+        assert pool.fetch(stored[last]) == [[2], [4]]
+
+    def test_evict_name_drops_derived_state(self, pool):
+        pool.pin("t", 1, [[1], [2]])
+        derived = pool.run(_double, [(r,) for r in pool.pinned("t", 1)],
+                           store_as=("t:derived", 9))
+        pool.register_derived(
+            ("dc", "t", 1, "rule"),
+            {"entry_refs": derived, "store_names": [("t:derived", 9)]},
+        )
+        pool.evict("t", 1)
+        assert pool.derived(("dc", "t", 1, "rule")) is None
+        with pytest.raises(StaleHandleError):
+            pool.fetch(derived)
+
+
+class TestFunctionRegistry:
+    def test_function_ships_once_per_worker_not_per_task(self, pool):
+        refs = pool.pin("t", 1, [[1], [2], [3], [4]])
+        pool.run(_double, [(r,) for r in refs])
+        first_funcs = len(pool._func_ids)
+        before_bytes = pool.bytes_shipped_total
+        before_ships = pool.ship_count_total
+        pool.run(_double, [(r,) for r in refs])
+        assert len(pool._func_ids) == first_funcs  # no re-registration
+        # Second batch: 4 task payloads out + 4 replies back, nothing else.
+        assert pool.ship_count_total - before_ships == 8
+        # And the payloads are handle-sized.
+        assert pool.bytes_shipped_total - before_bytes < 2000
+
+
+class TestResidentExchange:
+    def test_matches_serial_exchange_byte_for_byte(self, pool):
+        cluster = Cluster(4)
+        data = [
+            [(f"k{i % 5}", (i, None if i % 3 else "v")) for i in range(j, 30, 3)]
+            for j in range(3)
+        ]
+        serial, s_moved, s_cost = exchange(cluster, data, 4, kind="local")
+        refs = pool.pin("in", 1, data)
+        out_refs, moved, cost = exchange_resident(
+            cluster, pool, refs, 4, kind="local", store_as=("out", 1)
+        )
+        assert pool.fetch(out_refs) == serial
+        assert (moved, cost) == (s_moved, s_cost)
+
+    def test_sort_routing_rejected(self, pool):
+        cluster = Cluster(2)
+        refs = pool.pin("in", 1, [[("a", 1)]])
+        with pytest.raises(ValueError, match="hash"):
+            exchange_resident(cluster, pool, refs, 2, kind="sort")
+
+
+class TestWorkerDeath:
+    def test_death_raises_and_invalidates_store(self, pool):
+        refs = pool.pin("t", 1, [[1], [2]])
+        with pytest.raises(WorkerTaskError, match="died mid-task") as info:
+            pool.run(_die, [(0,)])
+        assert info.value.exc_type == "WorkerDied"
+        # The whole store is invalidated: the surviving worker's partitions
+        # are incomplete as a table, so handles must not resolve.
+        assert pool.pinned("t", 1) is None
+        with pytest.raises(StaleHandleError):
+            pool.fetch(refs)
+
+    def test_pool_recovers_with_replacement_worker(self, pool):
+        with pytest.raises(WorkerTaskError):
+            pool.run(_die, [(0,), (1,)])
+        # Dead workers were replaced; a fresh pin + run works.
+        refs = pool.pin("t", 2, [[5], [6]])
+        assert pool.run(_double, [(r,) for r in refs]) == [[10], [12]]

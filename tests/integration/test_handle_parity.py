@@ -1,0 +1,300 @@
+"""Handle-based execution parity and store-invalidation regressions.
+
+The partition store is a pure transport optimisation: dispatching handles
+to worker-resident partitions must produce **byte-identical** output to
+shipping the rows per task — which in turn is byte-identical to the serial
+row path.  These tests pin that down on null-laden inputs (None keys, None
+comparison values, missing attributes) for all three cleaning fast paths,
+warm *and* cold, and prove the versioning contract: after a mutation
+(``repair_dc``) bumps a table's version, stale handles must fail loudly and
+new runs must see only the repaired rows.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CleanDB
+from repro.cleaning.dedup import deduplicate, deduplicate_parallel
+from repro.cleaning.denial import (
+    DenialConstraint,
+    TuplePredicate,
+    check_dc,
+    check_dc_parallel,
+    check_fd,
+    check_fd_parallel,
+)
+from repro.engine import Cluster, StaleHandleError
+
+WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "2"))
+
+# Null-laden inputs: every attribute the operators touch goes through None
+# (and, for dedup, missing-key) cases.
+NULLY_FD = [
+    {
+        "addr": None if i % 7 == 0 else f"a{i % 5}",
+        "phone": None if i % 11 == 0 else f"{i % 5}{i % 3}-555",
+        "nation": None if i % 13 == 0 else i % 4,
+        "_rid": i,
+    }
+    for i in range(90)
+]
+NULLY_ORDERS = [
+    {
+        "price": None if i % 9 == 0 else float(100 + 13 * (i % 11)),
+        "qty": None if i % 17 == 0 else i % 5 + 1,
+        "_rid": i,
+    }
+    for i in range(80)
+]
+NULLY_DEDUP = [
+    {
+        "_rid": i,
+        "city": None if i % 6 == 0 else f"c{i % 3}",
+        "name": None if i % 5 == 0 else f"name {i % 8}",
+    }
+    for i in range(60)
+]
+PSI = DenialConstraint(
+    predicates=(
+        TuplePredicate("price", "<", "price"),
+        TuplePredicate("qty", ">", "qty"),
+    ),
+)
+
+
+def _row_fd(records, num_nodes=4):
+    cluster = Cluster(num_nodes)
+    ds = cluster.parallelize(records, name="lineitem")
+    return repr(check_fd(ds, ["addr"], ["nation"]).collect())
+
+
+class TestHandleParityNullLaden:
+    """Handle-based == ship-per-task == serial row path, byte for byte."""
+
+    def test_fd_parity_cold_and_warm(self):
+        row = _row_fd(NULLY_FD)
+        with Cluster(4, workers=WORKERS) as cluster:
+            pool = cluster.pool
+            pool.pin("table:t", 1, _split(NULLY_FD, cluster))
+            for _ in range(2):  # cold, then warm on the same pin
+                par = check_fd_parallel(
+                    cluster, NULLY_FD, ["addr"], ["nation"], pinned=("table:t", 1)
+                ).collect()
+                assert repr(par) == row
+
+    def test_fd_parity_without_pin(self):
+        # Ad-hoc (unpinned) dispatch takes the same handle-based path.
+        row = _row_fd(NULLY_FD)
+        with Cluster(4, workers=WORKERS) as cluster:
+            par = check_fd_parallel(cluster, NULLY_FD, ["addr"], ["nation"]).collect()
+            assert repr(par) == row
+
+    def test_dc_parity_cold_and_warm(self):
+        row_cluster = Cluster(4)
+        ds = row_cluster.parallelize(NULLY_ORDERS, name="lineitem")
+        row = repr(check_dc(ds, PSI, strategy="banded").collect())
+        with Cluster(4, workers=WORKERS) as cluster:
+            pool = cluster.pool
+            pool.pin("table:o", 1, _split(NULLY_ORDERS, cluster))
+            cold = check_dc_parallel(
+                cluster, NULLY_ORDERS, PSI, pinned=("table:o", 1)
+            ).collect()
+            bytes_after_cold = pool.bytes_shipped_total
+            warm = check_dc_parallel(
+                cluster, NULLY_ORDERS, PSI, pinned=("table:o", 1)
+            ).collect()
+            warm_bytes = pool.bytes_shipped_total - bytes_after_cold
+            assert repr(cold) == row
+            assert repr(warm) == row
+            # The warm run reused the resident extraction + index.
+            assert warm_bytes < bytes_after_cold
+
+    def test_dc_metrics_identical_cold_and_warm(self):
+        """Cache temperature may change measured transport, never the
+        simulated clock or the pruning counters."""
+
+        def run(cluster):
+            check_dc_parallel(cluster, NULLY_ORDERS, PSI, pinned=("table:o", 1))
+            return (
+                cluster.metrics.simulated_time,
+                cluster.metrics.comparisons,
+                cluster.metrics.verified,
+            )
+
+        with Cluster(4, workers=WORKERS) as cluster:
+            cluster.pool.pin("table:o", 1, _split(NULLY_ORDERS, cluster))
+            cold = run(cluster)
+            cluster.metrics.reset()
+            warm = run(cluster)
+        assert cold == warm
+
+    def test_dedup_parity_cold_and_warm(self):
+        row_cluster = Cluster(4)
+        ds = row_cluster.parallelize(NULLY_DEDUP, name="input")
+        row = repr(
+            deduplicate(ds, ["name"], theta=0.4, block_on="city").collect()
+        )
+        with Cluster(4, workers=WORKERS) as cluster:
+            cluster.pool.pin("table:d", 1, _split(NULLY_DEDUP, cluster))
+            for _ in range(2):
+                par = deduplicate_parallel(
+                    cluster, NULLY_DEDUP, ["name"], theta=0.4, block_on="city",
+                    pinned=("table:d", 1),
+                ).collect()
+                assert repr(par) == row
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        rows=st.lists(
+            st.fixed_dictionaries(
+                {
+                    "addr": st.sampled_from(["a", "b", None]),
+                    "nation": st.sampled_from([0, 1, None]),
+                }
+            ),
+            max_size=40,
+        )
+    )
+    def test_fd_parity_property(self, rows):
+        records = [{**r, "_rid": i} for i, r in enumerate(rows)]
+        row = _row_fd(records, num_nodes=3)
+        with Cluster(3, workers=WORKERS) as cluster:
+            par = check_fd_parallel(cluster, records, ["addr"], ["nation"]).collect()
+        assert repr(par) == row
+
+
+def _split(records, cluster):
+    from repro.sources.columnar import round_robin_split
+
+    return round_robin_split(records, cluster.default_parallelism)
+
+
+class TestVersionInvalidation:
+    """Mutation bumps the table version; stale handles must not serve the
+    pre-mutation rows."""
+
+    @staticmethod
+    def _dirty_rows():
+        rows = [
+            {"price": float(i), "qty": i // 20, "cat": f"c{i % 2}"}
+            for i in range(200)
+        ]
+        rows[30]["qty"] += 3  # a violating outlier
+        return rows
+
+    def test_repair_dc_invalidates_stale_handles(self):
+        rule = "t1.price < t2.price and t1.qty > t2.qty"
+        db = CleanDB(num_nodes=4, execution="parallel", workers=WORKERS)
+        try:
+            db.register_table("lineitem", self._dirty_rows())
+            pool = db.cluster.pool
+            before = db.check_dc("lineitem", rule)
+            assert before
+            stale_refs = pool.pinned("table:lineitem", 1)
+            assert stale_refs is not None
+
+            report = db.repair_dc("lineitem", rule, violations=before)
+            assert report.residual_violations == 0
+            # The old version's partitions are gone from every worker: a
+            # handle kept across the repair fails instead of serving old
+            # rows.
+            assert pool.pinned("table:lineitem", 1) is None
+            with pytest.raises(StaleHandleError):
+                pool.fetch(stale_refs)
+            # A new check runs against the repaired (re-pinned) rows only.
+            assert db.check_dc("lineitem", rule) == []
+        finally:
+            db.close()
+
+    def test_reregistration_bumps_version_and_serves_new_rows(self):
+        rule = "t1.price < t2.price and t1.qty > t2.qty"
+        db = CleanDB(num_nodes=4, execution="parallel", workers=WORKERS)
+        try:
+            db.register_table("lineitem", self._dirty_rows())
+            assert db.check_dc("lineitem", rule)  # warm the derived cache
+            clean = [
+                {"price": float(i), "qty": i // 20, "cat": "c0"} for i in range(200)
+            ]
+            db.register_table("lineitem", clean)
+            assert db.check_dc("lineitem", rule) == []
+        finally:
+            db.close()
+
+    def test_resize_drops_derived_cache(self):
+        """Appending rows changes the record count: the next check must
+        re-pin under the same identity AND drop the cached extraction/index
+        — never probe a stale index against fresh partitions."""
+        rule = "t1.price < t2.price and t1.qty > t2.qty"
+        db = CleanDB(num_nodes=4, execution="parallel", workers=WORKERS)
+        row_db = CleanDB(num_nodes=4)
+        try:
+            rows = self._dirty_rows()
+            db.register_table("lineitem", rows)
+            db.check_dc("lineitem", rule)  # warm the derived cache
+            grown = db.table("lineitem") + [
+                {"price": 500.0, "qty": 0, "cat": "c1", "_rid": 900},
+                {"price": 0.5, "qty": 9, "cat": "c1", "_rid": 901},
+            ]
+            db.table("lineitem").extend(grown[-2:])
+            row_db.register_table("lineitem", list(db.table("lineitem")))
+            assert repr(db.check_dc("lineitem", rule)) == repr(
+                row_db.check_dc("lineitem", rule)
+            )
+        finally:
+            db.close()
+
+    def test_refresh_table_makes_in_place_edits_visible(self):
+        """Same-length in-place edits are snapshot-invisible by contract;
+        refresh_table() is the coherence point that re-pins them."""
+        rule = "t1.price < t2.price and t1.qty > t2.qty"
+        db = CleanDB(num_nodes=4, execution="parallel", workers=WORKERS)
+        try:
+            db.register_table("lineitem", self._dirty_rows())
+            before = db.check_dc("lineitem", rule)
+            assert before
+            for row in db.table("lineitem"):
+                row["qty"] = 1  # repair every row in place
+            db.refresh_table("lineitem")
+            assert db.check_dc("lineitem", rule) == []
+        finally:
+            db.close()
+
+    def test_query_path_sees_resized_table(self):
+        """SQL queries share the fast paths' freshness contract: a
+        length-changing mutation re-pins before the scan binds."""
+        sql = "SELECT * FROM customer c FD(c.address, c.nation)"
+        rows = [
+            {"address": f"a{i % 4}", "nation": i % 2} for i in range(40)
+        ]
+        par = CleanDB(num_nodes=4, execution="parallel", workers=WORKERS)
+        row = CleanDB(num_nodes=4)
+        try:
+            par.register_table("customer", rows)
+            par.execute(sql)  # warm: table pinned, scan bound
+            par.table("customer").append(
+                {"address": "a0", "nation": 5, "_rid": 40}
+            )
+            row.register_table("customer", list(par.table("customer")))
+            assert (
+                sorted(map(repr, par.execute(sql).branches["fd1"]))
+                == sorted(map(repr, row.execute(sql).branches["fd1"]))
+            )
+        finally:
+            par.close()
+            row.close()
+
+    def test_pool_restart_repins_transparently(self):
+        """close() kills the pool (and the store); the next parallel call
+        re-pins under the same identity instead of failing."""
+        db = CleanDB(num_nodes=4, execution="parallel", workers=WORKERS)
+        try:
+            db.register_table("lineitem", self._dirty_rows())
+            first = db.check_fd("lineitem", ["cat"], ["qty"])
+            db.close()
+            second = db.check_fd("lineitem", ["cat"], ["qty"])
+            assert repr(first) == repr(second)
+        finally:
+            db.close()
