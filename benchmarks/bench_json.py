@@ -19,6 +19,7 @@ from typing import Any
 BENCH_PATH = Path(__file__).parent / "BENCH_fig8.json"
 BENCH_DC_PATH = Path(__file__).parent / "BENCH_dc.json"
 BENCH_FIG5_PATH = Path(__file__).parent / "BENCH_fig5.json"
+BENCH_INCREMENTAL_PATH = Path(__file__).parent / "BENCH_incremental.json"
 SCHEMA_VERSION = 1
 
 
@@ -74,3 +75,10 @@ def emit_fig5(section: str, payload: dict) -> dict:
     """Merge one unified-cleaning figure's results into ``BENCH_fig5.json``
     (simulated table, measured parallel wall-clock, pinned-store bytes)."""
     return emit_bench(BENCH_FIG5_PATH, section, payload)
+
+
+def emit_incremental(section: str, payload: dict) -> dict:
+    """Merge one incremental-maintenance figure's results into
+    ``BENCH_incremental.json`` (cold / warm / 1%-delta wall-clock per
+    cleaning operation, plus delta transport volume)."""
+    return emit_bench(BENCH_INCREMENTAL_PATH, section, payload)

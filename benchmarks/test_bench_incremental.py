@@ -1,0 +1,202 @@
+"""Incremental maintenance: a 1% delta re-check vs a cold re-run.
+
+The delta path's claim is that after ``append_rows``/``update_rows`` the
+next check costs a fraction of checking from scratch: only the delta
+crosses the process boundary (patched pins, not re-shipped tables) and
+only the delta is probed against resident state (maintained FD combiners,
+dedup blocks with memoized verification, the DC group index).
+
+For each cleaning operation this bench measures, on the parallel backend
+with a warm pool:
+
+* ``cold_seconds``  — first check in a fresh session (per-round minimum);
+* ``warm_seconds``  — re-check with no intervening delta (cached emit);
+* ``apply_seconds`` — shipping a 1% delta (``append_rows`` +
+  ``update_rows``): the patch transport plus state maintenance;
+* ``delta_seconds`` — the re-check *after* that delta.
+
+Headline requirement (asserted here and by CI): re-checking after a 1%
+delta costs at most 10% of the cold check.  The apply cost is reported —
+not asserted — for the same reason cold timing excludes
+``register_table``: loading the data is the same work either way; the
+claim under test is that the *check* no longer pays for the unchanged
+99%.  Results land in ``BENCH_incremental.json``; every incremental
+result is additionally checked ``repr``-identical to a cold session on
+the post-delta table, so the speedup can never come from serving stale
+or reordered output.
+"""
+
+import time
+
+from bench_json import emit_incremental
+from workloads import NUM_NODES, PARALLEL_WORKERS
+
+from repro import CleanDB
+from repro.evaluation import print_table
+
+# Single ordered predicate: the plan is static, so delta patches skip
+# re-planning — the paper-shaped "equal category, higher price must not
+# ship a different quantity" rule.
+DC_RULE = "t1.cat == t2.cat and t1.price < t2.price and t1.qty != t2.qty"
+ROUNDS = 3
+DELTA_FRACTION = 0.01
+TARGET_RATIO = 0.10
+
+
+def _fd_rows(n: int = 90000) -> list[dict]:
+    # nation is a function of addr except for a planted violation roughly
+    # every thousandth row, so the maintained state (and the merge cost of
+    # every re-check) tracks the group count, not the row count.
+    return [
+        {
+            "addr": f"a{i % 150}",
+            "phone": f"{i % 89}-{i % 7}55",
+            "nation": (i % 150) % 11 + (0 if i % 997 else 1),
+        }
+        for i in range(n)
+    ]
+
+
+def _dc_rows(n: int = 4000) -> list[dict]:
+    # qty is constant per category, so "same cat, cheaper, different qty"
+    # holds only for the planted rows — the violation set stays small and
+    # the banded kernel's cost is the scan, not pair materialization.
+    rows = [
+        {"cat": f"c{i % 5}", "price": float(i), "qty": i % 5}
+        for i in range(n)
+    ]
+    for idx in range(101, n, 1999):  # planted violations
+        rows[idx]["qty"] += 1
+    return rows
+
+
+def _dedup_rows(n: int = 1800) -> list[dict]:
+    # ~20 records per block; names inside a block are near-duplicates so
+    # the similarity kernel does real verification work.
+    return [
+        {"city": f"c{i % 90}", "name": f"record name {i % 90} v{i % 4}"}
+        for i in range(n)
+    ]
+
+
+def _time(action) -> float:
+    start = time.perf_counter()
+    action()
+    return time.perf_counter() - start
+
+
+def _delta_for(rows_factory, base_len: int, round_idx: int):
+    """A 1%-sized delta: half fresh appends, half in-place updates."""
+    size = max(2, int(base_len * DELTA_FRACTION))
+    template = rows_factory(size)
+    appends = [dict(r) for r in template[: size // 2]]
+    updates = {
+        (round_idx * 31 + j * 97) % base_len: dict(template[size // 2 + j])
+        for j in range(size - size // 2)
+    }
+    return appends, updates
+
+
+def _bench_operation(label: str, rows_factory, check) -> dict:
+    records = rows_factory()
+
+    # Cold: fresh session each round; registration (pool spawn + pin)
+    # happens before the clock starts, so cold pays only the check itself.
+    cold = float("inf")
+    for _ in range(ROUNDS):
+        db = CleanDB(
+            num_nodes=NUM_NODES, execution="parallel", workers=PARALLEL_WORKERS
+        )
+        try:
+            db.register_table("t", [dict(r) for r in records])
+            cold = min(cold, _time(lambda: check(db)))
+        finally:
+            db.close()
+
+    db = CleanDB(
+        num_nodes=NUM_NODES,
+        execution="parallel",
+        workers=PARALLEL_WORKERS,
+        incremental=True,
+    )
+    try:
+        db.register_table("t", [dict(r) for r in records])
+        check(db)  # build resident state
+        warm = min(_time(lambda: check(db)) for _ in range(ROUNDS))
+
+        apply = delta = float("inf")
+        rows_delta_before = db.cluster.metrics.rows_delta
+        for round_idx in range(ROUNDS):
+            appends, updates = _delta_for(
+                rows_factory, len(db.table("t")), round_idx
+            )
+
+            def apply_delta():
+                db.append_rows("t", appends)
+                db.update_rows("t", updates)
+
+            apply = min(apply, _time(apply_delta))
+            delta = min(delta, _time(lambda: check(db)))
+        rows_delta = db.cluster.metrics.rows_delta - rows_delta_before
+        assert rows_delta > 0, "delta patches must ship rows, not tables"
+        op_names = [op.name for op in db.cluster.metrics.ops]
+        assert f"incremental:{label}:t" in op_names, (
+            "the re-check must be served from resident state"
+        )
+
+        # Oracle: the incremental result is byte-identical to a cold
+        # session on the post-delta table.
+        oracle = CleanDB(num_nodes=NUM_NODES)
+        try:
+            oracle.register_table("t", [dict(r) for r in db.table("t")])
+            assert repr(check(db)) == repr(check(oracle))
+        finally:
+            oracle.close()
+    finally:
+        db.close()
+
+    return {
+        "cold_seconds": round(cold, 4),
+        "warm_seconds": round(warm, 4),
+        "apply_seconds": round(apply, 4),
+        "delta_seconds": round(delta, 4),
+        "delta_over_cold": round(delta / cold, 4) if cold else None,
+        "rows_delta": int(rows_delta),
+    }
+
+
+def test_bench_incremental(report):
+    results = {
+        "fd": _bench_operation(
+            "fd", _fd_rows, lambda db: db.check_fd("t", ["addr"], ["nation"])
+        ),
+        "dc": _bench_operation(
+            "dc", _dc_rows, lambda db: db.check_dc("t", DC_RULE)
+        ),
+        "dedup": _bench_operation(
+            "dedup",
+            _dedup_rows,
+            lambda db: db.deduplicate(
+                "t", ["name"], theta=0.6, block_on="city"
+            ),
+        ),
+    }
+    rows = [
+        {
+            "operation": name,
+            "cold_s": r["cold_seconds"],
+            "warm_s": r["warm_seconds"],
+            "apply_s": r["apply_seconds"],
+            "delta_s": r["delta_seconds"],
+            "delta/cold": r["delta_over_cold"],
+            "rows_delta": r["rows_delta"],
+        }
+        for name, r in results.items()
+    ]
+    report(print_table("Incremental: 1% delta re-check vs cold", rows))
+    for name, r in results.items():
+        assert r["delta_over_cold"] <= TARGET_RATIO, (
+            f"{name}: 1% delta re-check took {r['delta_over_cold']:.1%} of "
+            f"cold (target <= {TARGET_RATIO:.0%})"
+        )
+    emit_incremental("operations", results)

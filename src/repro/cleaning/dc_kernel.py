@@ -456,6 +456,24 @@ class DCStats:
         self.work += other.work
 
 
+def dc_group_key(entry: DCRecord, plan: DCPlan) -> tuple | None:
+    """The equality-group key ``entry`` is indexed under, or ``None``.
+
+    ``None`` means the entry is excluded from the index outright: its
+    equality key or band value contains a null, which can never satisfy
+    the corresponding predicate, so it has no candidates.  Shared by
+    :func:`build_dc_index` and the incremental DC state so both classify
+    entries identically.
+    """
+    key = tuple(entry.rvals[i] for i in plan.eq_idx)
+    if any(_is_null(k) for k in key):
+        return None
+    band_idx = plan.band_idx
+    if band_idx is not None and _is_null(entry.rvals[band_idx]):
+        return None
+    return key
+
+
 def build_dc_index(
     entries: Iterable[DCRecord], plan: DCPlan
 ) -> dict[tuple, tuple[list | None, list[DCRecord]]]:
@@ -474,10 +492,8 @@ def build_dc_index(
     band_idx = plan.band_idx
     groups: dict[tuple, list[DCRecord]] = {}
     for entry in entries:
-        key = tuple(entry.rvals[i] for i in plan.eq_idx)
-        if any(_is_null(k) for k in key):
-            continue
-        if band_idx is not None and _is_null(entry.rvals[band_idx]):
+        key = dc_group_key(entry, plan)
+        if key is None:
             continue
         groups.setdefault(key, []).append(entry)
 

@@ -116,9 +116,7 @@ def deduplicate(
     else:
         # Default: exact blocking on the comparison attributes themselves.
         blocks = key_blocks(
-            with_ids,
-            lambda r: tuple(str(r.get(a, "")) for a in attributes),
-            grouping=grouping,
+            with_ids, default_block_key(attributes), grouping=grouping
         )
 
     return pairwise_within_blocks(blocks, attributes, metric, theta, filters=filters)
@@ -194,6 +192,14 @@ def _concat_terms(attributes: Sequence[str]) -> Callable[[dict], str]:
     return lambda record: " ".join(str(record.get(a, "")) for a in attributes)
 
 
+def default_block_key(attributes: Sequence[str]) -> Callable[[dict], Any]:
+    """The blocking key used when no explicit spec is given: the
+    stringified comparison attributes themselves.  Shared with the
+    incremental dedup state so both block identically."""
+    attrs = list(attributes)
+    return lambda r, _attrs=attrs: tuple(str(r.get(a, "")) for a in _attrs)
+
+
 def _block_key_func(block_on: BlockSpec) -> Callable[[dict], Any]:
     """Normalize a blocking spec into a record → key function."""
     if callable(block_on):
@@ -224,9 +230,7 @@ def _dedup_block_task(
     same local state ``key_blocks``'s ``aggregate_by_key`` builds.
     """
     if block_on is None:
-        # Default blocking stringifies the comparison attributes, matching
-        # the row path's ``str(r.get(a, ""))`` key function.
-        key_func = lambda r: tuple(str(r.get(a, "")) for a in attributes)  # noqa: E731
+        key_func = default_block_key(attributes)
     else:
         key_func = _block_key_func(block_on)
     groups: dict[Any, list[dict]] = {}

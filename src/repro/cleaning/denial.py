@@ -209,29 +209,35 @@ def check_fd_columnar(
     n = cluster.default_parallelism
     moved = sum(len(c) for c in local)
     shuffle_cost = cluster.cost_model.batch_shuffle_cost(moved)
-    merged: list[dict[Any, dict[Any, list[tuple[int, int]]]]] = [
+    # Merge state per key: (rhs first-seen dict, witness refs).  Witnesses
+    # stay in combiner-arrival order — partition-major, per-partition
+    # first-seen — exactly the order the row path's ``comb`` concatenates
+    # them in (a key spanning partitions with interleaved RHS values would
+    # otherwise come out rhs-major and break byte parity with ``check_fd``).
+    merged: list[dict[Any, tuple[dict, list[tuple[int, int]]]]] = [
         {} for _ in range(n)
     ]
     for part_idx, combiners in enumerate(local):
         for key, rhs_seen in combiners.items():
             target = merged[stable_hash(key) % n]
-            state = target.setdefault(key, {})
+            state = target.get(key)
+            if state is None:
+                state = ({}, [])
+                target[key] = state
+            rhs_merged, witnesses = state
             for rhs_value, row in rhs_seen.items():
-                witnesses = state.setdefault(rhs_value, [])
+                if rhs_value not in rhs_merged:
+                    rhs_merged[rhs_value] = None
                 if row is not None:
                     witnesses.append((part_idx, row))
 
     out_parts: list[list[FDViolation]] = []
     for groups in merged:
         out: list[FDViolation] = []
-        for key, state in groups.items():
-            if len(state) > 1:
-                witnesses = tuple(
-                    batches[p].row(i)
-                    for refs in state.values()
-                    for p, i in refs
-                )
-                out.append(FDViolation(key, tuple(state), witnesses))
+        for key, (rhs_merged, refs) in groups.items():
+            if len(rhs_merged) > 1:
+                witnesses = tuple(batches[p].row(i) for p, i in refs)
+                out.append(FDViolation(key, tuple(rhs_merged), witnesses))
         out_parts.append(out)
     _charge(
         "fd:vecMerge",

@@ -185,6 +185,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="repair the violations by relaxation and report the changes",
     )
+    dc.add_argument(
+        "--incremental",
+        action="store_true",
+        help=(
+            "keep delta-maintenance state resident so a session reusing this "
+            "CleanDB can re-check after append_rows/update_rows without a "
+            "full rescan (results are identical either way)"
+        ),
+    )
     dc.add_argument("--metrics", action="store_true", help="print execution metrics")
 
     sub.add_parser("formats", help="list supported storage formats")
@@ -203,6 +212,7 @@ def run_dc(args: Any) -> int:
         execution=args.execution,
         workers=args.workers,
         dc_strategy=args.dc_strategy,
+        incremental=args.incremental,
     )
     try:
         load_tables(args.table, db)

@@ -115,6 +115,13 @@ class CleanDB:
         sort-banded range scan, running on whichever ``execution``
         backend is configured), ``"matrix"``, ``"cartesian"``, or
         ``"minmax"``.  The violation set is identical across strategies.
+    incremental:
+        Maintain cleaning results under :meth:`append_rows` /
+        :meth:`update_rows` deltas instead of re-running each check from
+        scratch.  Results are byte-identical to a cold re-run on the
+        post-delta table; checks and tables outside the incremental
+        states' parity guarantees transparently take the cold path.  Off
+        by default (cold metrics accounting stays untouched).
     q / k / delta:
         Blocking parameters: q-gram length for token filtering, number of
         centers and assignment slack for k-means.
@@ -132,6 +139,7 @@ class CleanDB:
         use_codegen: bool = False,
         sim_filters: bool = True,
         dc_strategy: str = "banded",
+        incremental: bool = False,
         q: int = 3,
         k: int = 10,
         delta: float = 0.05,
@@ -162,6 +170,7 @@ class CleanDB:
                 f"unknown DC strategy {dc_strategy!r}; expected one of {expected}"
             )
         self.dc_strategy = dc_strategy
+        self.incremental = bool(incremental)
         self.q = q
         self.k = k
         self.delta = delta
@@ -173,6 +182,12 @@ class CleanDB:
         # the version and evict the old pins, so a stale handle can never
         # serve pre-mutation rows.
         self._table_versions: dict[str, int] = {}
+        # Incremental machinery (``incremental=True`` only): the per-table
+        # partition mirror holding maintained check states, and a lazy
+        # ``_rid -> [global row index]`` index for ``update_rows``.  Both
+        # die with the version on ``refresh_table`` / re-registration.
+        self._inc_tables: dict[str, Any] = {}
+        self._rid_index: dict[str, dict[Any, list[int]]] = {}
 
     # ------------------------------------------------------------------ #
     # Resource lifecycle
@@ -287,7 +302,246 @@ class CleanDB:
         if name not in self._tables:
             raise SchemaError(f"unknown table {name!r}")
         self._table_versions[name] = self._table_versions.get(name, 0) + 1
+        # External mutations invalidate everything derived from the rows:
+        # the incremental states (their mirror may no longer match the
+        # table) and the rid index, alongside the pinned partitions and
+        # derived caches _sync_pin evicts below.
+        self._inc_tables.pop(name, None)
+        self._rid_index.pop(name, None)
         self._sync_pin(name)
+
+    # ------------------------------------------------------------------ #
+    # Delta mutations
+    # ------------------------------------------------------------------ #
+    def append_rows(self, name: str, rows: Sequence[Any]) -> None:
+        """Append rows to a registered table, shipping only the delta.
+
+        Bumps the table version like :meth:`refresh_table`, but instead of
+        re-pinning the whole table, the pinned partitions are *patched* in
+        the workers: each touched partition is extended with its share of
+        the new rows under the new version, untouched partitions are
+        re-keyed without moving, and the old version is evicted (stale
+        handles keep failing).  Dict rows without a ``_rid`` get one
+        assigned from their global position, matching
+        :meth:`register_table`.  Incremental check states absorb the new
+        rows in place.  An empty delta is a no-op (no version bump).
+        """
+        table = self.table(name)
+        rows = list(rows)
+        if not rows:
+            return
+        base = len(table)
+        prepared = []
+        for j, row in enumerate(rows):
+            if isinstance(row, dict) and "_rid" not in row:
+                row = {**row, "_rid": base + j}
+            prepared.append(row)
+        table.extend(prepared)
+        old_version = self._table_versions.get(name, 0)
+        self._table_versions[name] = old_version + 1
+        index = self._rid_index.get(name)
+        if index is not None:
+            for j, row in enumerate(prepared):
+                if isinstance(row, dict):
+                    index.setdefault(row.get("_rid"), []).append(base + j)
+        inc = self._inc_tables.get(name)
+        if inc is not None:
+            try:
+                inc.append(prepared)
+            except Exception:
+                # The mirror can no longer be trusted; drop it wholesale.
+                self._inc_tables.pop(name, None)
+        self._ship_delta(name, old_version, appended=prepared)
+
+    def update_rows(self, name: str, rid_to_row: dict) -> None:
+        """Replace rows addressed by ``_rid``, shipping only the delta.
+
+        Each replacement must be a dict; it is stamped with the addressed
+        ``_rid`` (a row's identity never changes through an update) and
+        replaces the old row at **every** position bearing that rid.
+        Version, store, and incremental-state handling mirror
+        :meth:`append_rows`; an empty mapping is a no-op.
+        """
+        table = self.table(name)
+        if not rid_to_row:
+            return
+        index = self._rid_index_for(name)
+        updates: list[tuple[int, dict]] = []
+        for rid, row in rid_to_row.items():
+            positions = index.get(rid)
+            if not positions:
+                raise SchemaError(f"table {name!r} has no row with _rid {rid!r}")
+            if not isinstance(row, dict):
+                raise SchemaError("update_rows replacements must be dict rows")
+            replacement = {**row, "_rid": rid}
+            for g in positions:
+                table[g] = replacement
+                updates.append((g, replacement))
+        old_version = self._table_versions.get(name, 0)
+        self._table_versions[name] = old_version + 1
+        inc = self._inc_tables.get(name)
+        if inc is not None:
+            try:
+                inc.update(updates)
+            except Exception:
+                self._inc_tables.pop(name, None)
+        self._ship_delta(name, old_version, updated=updates)
+
+    def _rid_index_for(self, name: str) -> dict[Any, list[int]]:
+        """Lazy ``_rid -> [global row index]`` map (duplicates keep every
+        position).  Maintained by :meth:`append_rows`, dropped on any
+        whole-table mutation."""
+        index = self._rid_index.get(name)
+        if index is None:
+            index = {}
+            for g, row in enumerate(self.table(name)):
+                if isinstance(row, dict):
+                    index.setdefault(row.get("_rid"), []).append(g)
+            self._rid_index[name] = index
+        return index
+
+    def _ship_delta(
+        self,
+        name: str,
+        old_version: int,
+        appended: Sequence[Any] = (),
+        updated: Sequence[tuple[int, Any]] = (),
+    ) -> None:
+        """Patch the pinned partitions from one delta (parallel backend).
+
+        Requires the old version to be fully resident with matching
+        counts; anything short of that — cold pins, a restarted pool, a
+        worker death mid-patch — falls back to :meth:`_sync_pin`, which
+        re-pins the whole table under the new version (correct, just not
+        incremental).  On success the patched partitions are adopted as
+        the new version's pins and the old version is evicted, so derived
+        caches keyed on it die and stale handles fail loudly.
+        """
+        if self.config.execution != "parallel":
+            return
+        from ..engine.parallel import ShipLog
+        from ..physical.parallel_exec import (
+            _append_patch_task,
+            _rekey_task,
+            _update_patch_task,
+        )
+
+        pool = self.cluster.pool
+        pin_name = f"table:{name}"
+        new_version = self._table_versions[name]
+        n = self.cluster.default_parallelism
+        rows_delta = len(appended) + len(updated)
+        old_count = len(self._tables[name]) - len(appended)
+        refs = pool.pinned(pin_name, old_version)
+        if (
+            refs is None
+            or len(refs) != n
+            or sum(max(r.count, 0) for r in refs) != old_count
+        ):
+            self._sync_pin(name)
+            return
+        append_parts: list[list[Any]] = [[] for _ in range(n)]
+        for j, row in enumerate(appended):
+            append_parts[(old_count + j) % n].append(row)
+        update_parts: list[list[tuple[int, Any]]] = [[] for _ in range(n)]
+        for g, row in updated:
+            update_parts[g % n].append((g // n, row))
+        log = ShipLog(pool)
+        try:
+            new_refs: list[Any] = [None] * n
+            batches = [
+                (
+                    _append_patch_task,
+                    [p for p in range(n) if append_parts[p]],
+                    lambda p: (refs[p], append_parts[p]),
+                ),
+                (
+                    _update_patch_task,
+                    [p for p in range(n) if update_parts[p]],
+                    lambda p: (refs[p], update_parts[p]),
+                ),
+            ]
+            touched = {p for _, parts, _ in batches for p in parts}
+            batches.append(
+                (
+                    _rekey_task,
+                    [p for p in range(n) if p not in touched],
+                    lambda p: (refs[p],),
+                )
+            )
+            for task, parts, args_of in batches:
+                if not parts:
+                    continue
+                out = pool.run(
+                    task,
+                    [args_of(p) for p in parts],
+                    store_as=(pin_name, new_version),
+                    parts=parts,
+                )
+                for p, ref in zip(parts, out):
+                    new_refs[p] = ref
+            pool.adopt(pin_name, new_version, new_refs)
+            pool.evict(pin_name, old_version)
+        except Exception:
+            # Worker death (store already invalidated) or any transport
+            # failure: full re-pin under the new version.
+            self._sync_pin(name)
+            return
+        self.cluster.record_op(
+            f"delta:{name}",
+            [0.0] * self.cluster.num_nodes,
+            rows_delta=rows_delta,
+            **log.take(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Incremental check states
+    # ------------------------------------------------------------------ #
+    def _incremental_table(self, name: str):
+        """The table's partition mirror, created lazily — None when the
+        instance is not incremental or the table is out of scope (too
+        small for the layout arithmetic, or rows without stable rids)."""
+        if not self.incremental:
+            return None
+        inc = self._inc_tables.get(name)
+        if inc is None:
+            from ..cleaning.incremental import IncrementalTable, UnsupportedDelta
+
+            rows = self.table(name)
+            try:
+                inc = IncrementalTable(rows, self.cluster.default_parallelism)
+            except UnsupportedDelta:
+                return None
+            self._inc_tables[name] = inc
+        return inc
+
+    def _incremental_result(self, name: str, key: tuple, builder) -> list | None:
+        """A maintained check result, or None to run the cold path.
+
+        ``builder(inc_table)`` constructs the state on first use; a state
+        that cannot be built (unsupported arguments/table) or that fails
+        mid-emit is dropped so the cold path answers — falling back is
+        always correct, serving a stale result never is.
+        """
+        inc = self._incremental_table(name)
+        if inc is None:
+            return None
+        try:
+            state = inc.states.get(key)
+            if state is None:
+                state = builder(inc)
+                inc.states[key] = state
+        except Exception:
+            return None
+        try:
+            out = state.emit()
+        except Exception:
+            inc.states.pop(key, None)
+            return None
+        self.cluster.record_op(
+            f"incremental:{key[0]}:{name}", [0.0] * self.cluster.num_nodes
+        )
+        return out
 
     def profile(self, name: str, attr: str):
         """Key-frequency statistics for one attribute (§6's statistics pass).
@@ -329,6 +583,16 @@ class CleanDB:
         chosen = strategy or self.dc_strategy
         records = self.table(table)
         fmt = self._formats.get(table, "memory")
+        if chosen == "banded" and self.incremental:
+            from ..cleaning.incremental import IncrementalDC
+
+            out = self._incremental_result(
+                table,
+                ("dc", constraint),
+                lambda inc: IncrementalDC(inc, constraint),
+            )
+            if out is not None:
+                return out
         if chosen == "banded":
             if self.config.execution == "vectorized":
                 return check_dc_columnar(
@@ -361,6 +625,16 @@ class CleanDB:
 
         records = self.table(table)
         fmt = self._formats.get(table, "memory")
+        if self.incremental and self.config.grouping == "aggregate":
+            from ..cleaning.incremental import IncrementalFD
+
+            out = self._incremental_result(
+                table,
+                ("fd", tuple(lhs), tuple(rhs), bool(keep_records)),
+                lambda inc: IncrementalFD(inc, list(lhs), list(rhs), keep_records),
+            )
+            if out is not None:
+                return out
         if self.config.execution == "vectorized":
             return check_fd_columnar(
                 self.cluster, records, list(lhs), list(rhs), fmt=fmt,
@@ -401,6 +675,33 @@ class CleanDB:
         filters = None if self.sim_filters else NO_FILTERS
         records = self.table(table)
         fmt = self._formats.get(table, "memory")
+        if self.incremental and self.config.grouping == "aggregate":
+            from ..cleaning.incremental import IncrementalDedup
+
+            try:
+                block_tag = (
+                    block_on
+                    if block_on is None
+                    or isinstance(block_on, str)
+                    or callable(block_on)
+                    else tuple(block_on)
+                )
+                key = (
+                    "dedup", tuple(attributes), metric, float(theta),
+                    block_tag, self.sim_filters,
+                )
+            except TypeError:
+                key = None
+            if key is not None:
+                out = self._incremental_result(
+                    table,
+                    key,
+                    lambda inc: IncrementalDedup(
+                        inc, list(attributes), metric, theta, block_on, filters
+                    ),
+                )
+                if out is not None:
+                    return out
         if self.config.execution == "vectorized":
             return deduplicate_columnar(
                 self.cluster, records, list(attributes), metric=metric,

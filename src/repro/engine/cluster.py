@@ -126,14 +126,16 @@ class Cluster:
         wall_seconds: float = 0.0,
         bytes_shipped: int = 0,
         ship_count: int = 0,
+        rows_delta: int = 0,
     ) -> OpMetrics:
         """Record one operation's metrics and charge its simulated time.
 
         ``wall_seconds`` / ``bytes_shipped`` / ``ship_count`` are the
         *measured* worker-pool time and transport volume for parallel
-        stages; they ride along in the metrics but never enter the simulated
-        clock.  Raises :class:`BudgetExceededError` if the cumulative
-        simulated time passes the budget.
+        stages (``rows_delta`` the rows a delta patch carried); they ride
+        along in the metrics but never enter the simulated clock.  Raises
+        :class:`BudgetExceededError` if the cumulative simulated time
+        passes the budget.
         """
         op = OpMetrics(
             name=name,
@@ -143,6 +145,7 @@ class Cluster:
             wall_seconds=wall_seconds,
             bytes_shipped=bytes_shipped,
             ship_count=ship_count,
+            rows_delta=rows_delta,
         )
         self.metrics.record(op)
         self._check_budget(name)

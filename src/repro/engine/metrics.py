@@ -132,6 +132,10 @@ class OpMetrics:
     wall_seconds: float = 0.0
     bytes_shipped: int = 0
     ship_count: int = 0
+    # Rows carried by a delta patch (``append_rows``/``update_rows``): the
+    # incremental counterpart of ``shuffled_records`` — only the delta
+    # crosses the process boundary, never the table.
+    rows_delta: int = 0
 
     @property
     def max_node_work(self) -> float:
@@ -216,6 +220,12 @@ class MetricsCollector:
         broadcasts, exchange blobs, and result payloads)."""
         return sum(op.ship_count for op in self.ops)
 
+    @property
+    def rows_delta(self) -> int:
+        """Rows carried by delta patches (``append_rows``/``update_rows``) —
+        the mutation-path counterpart of :attr:`shuffled_records`."""
+        return sum(op.rows_delta for op in self.ops)
+
     def phase_time(self, name_prefix: str) -> float:
         """Simulated time of all ops whose name starts with ``name_prefix``.
 
@@ -253,4 +263,5 @@ class MetricsCollector:
             "batches": float(self.batches_processed),
             "bytes_shipped": float(self.bytes_shipped),
             "ship_count": float(self.ship_count),
+            "rows_delta": float(self.rows_delta),
         }

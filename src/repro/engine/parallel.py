@@ -369,6 +369,18 @@ class WorkerPool:
         """Handles of a previously pinned name/version, if still valid."""
         return self._pins.get((name, version))
 
+    def adopt(self, name: str, version: int, refs: Sequence[StoreRef]) -> None:
+        """Register task-produced resident partitions as a pin.
+
+        ``run(store_as=...)`` leaves its output partitions in the worker
+        stores but does not record them in the pin registry; adopting the
+        returned refs makes the output addressable through :meth:`pinned`
+        exactly as if it had been shipped with :meth:`pin` — this is how a
+        delta patch promotes its result to the table's new version without
+        the rows ever returning to the driver.
+        """
+        self._pins[(name, version)] = list(refs)
+
     def evict(self, name: str, version: int | None = None) -> None:
         """Drop a pinned/broadcast name (one version or all of them) from
         every worker store, together with any derived results cached on top

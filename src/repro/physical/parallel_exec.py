@@ -256,6 +256,35 @@ def _dc_scan_task(
     return out, (stats.examined, stats.pairs, stats.work)
 
 
+def _append_patch_task(existing: list, delta_rows: list) -> list:
+    """Worker task: extend one resident partition with appended rows.
+
+    Returns a fresh list (stored under the table's *new* version) so the
+    old version's partition object is never mutated — a stale handle must
+    keep failing, not silently see the delta.
+    """
+    return list(existing) + list(delta_rows)
+
+
+def _update_patch_task(existing: list, updates: list) -> list:
+    """Worker task: apply ``(position, row)`` replacements to a copy of one
+    resident partition, stored under the table's new version."""
+    out = list(existing)
+    for pos, row in updates:
+        out[pos] = row
+    return out
+
+
+def _rekey_task(existing: list) -> list:
+    """Worker task: re-store an untouched partition under the new version.
+
+    The rows never move — the worker aliases the same resident list object
+    under the new key, so an untouched partition costs one handle-sized
+    command, not a row shipment.
+    """
+    return existing
+
+
 def pin_is_warm(
     cluster: Any, records: list[Any], pinned: tuple[str, int] | None
 ) -> bool:

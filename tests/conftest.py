@@ -1,0 +1,16 @@
+"""Suite-wide plumbing: make the shared ``fixtures`` module importable.
+
+pytest (rootdir mode, no ``__init__.py`` packages) puts each test file's
+own directory on ``sys.path`` — not ``tests/`` itself.  Inserting it here
+lets every suite do ``from fixtures import ...`` for the shared null-laden
+data builders instead of re-declaring them per file.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_TESTS_DIR = str(Path(__file__).parent)
+if _TESTS_DIR not in sys.path:
+    sys.path.insert(0, _TESTS_DIR)

@@ -13,10 +13,9 @@ The worker count is configurable via ``REPRO_TEST_WORKERS`` (CI runs the
 suite with 2); anything >= 2 exercises true multi-process execution.
 """
 
-import os
-
 import pytest
 
+from fixtures import WORKERS, dedup_clean_records, fd_clean_records
 from repro import CleanDB
 from repro.algebra import Join, Nest, Reduce, Scan, Select
 from repro.baselines import CleanDBSystem
@@ -37,7 +36,6 @@ from repro.monoid import (
 from repro.physical import Executor, PhysicalConfig
 from repro.sources import Catalog, Field, Schema, write_records
 
-WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "2"))
 BACKENDS = ("row", "vectorized", "parallel")
 FORMATS = ("csv", "json", "columnar")
 
@@ -56,20 +54,8 @@ CUSTOMERS_SCHEMA = Schema(
     (Field("id", "str"), Field("nation", "str"), Field("segment", "str"))
 )
 
-FD_RECORDS = [
-    {"addr": f"a{i % 9}", "phone": f"{i % 9}{i % 4}-555", "nation": i % 4, "_rid": i}
-    for i in range(120)
-]
-DEDUP_RECORDS = [
-    {
-        "_rid": i,
-        "journal": f"j{i % 3}",
-        "title": f"title {i % 10}",
-        "pages": f"{i}-{i + 9}",
-        "authors": f"author {i % 6}",
-    }
-    for i in range(60)
-]
+FD_RECORDS = fd_clean_records()
+DEDUP_RECORDS = dedup_clean_records()
 
 
 def _materialized_tables(tmp_path, fmt):

@@ -10,17 +10,22 @@ warm *and* cold, and prove the versioning contract: after a mutation
 new runs must see only the repaired rows.
 """
 
-import os
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from fixtures import (
+    WORKERS,
+    dirty_lineitem_rows,
+    nully_dedup_rows,
+    nully_fd_rows,
+    nully_orders_rows,
+    psi_constraint,
+    split_for,
+)
 from repro import CleanDB
 from repro.cleaning.dedup import deduplicate, deduplicate_parallel
 from repro.cleaning.denial import (
-    DenialConstraint,
-    TuplePredicate,
     check_dc,
     check_dc_parallel,
     check_fd,
@@ -28,41 +33,12 @@ from repro.cleaning.denial import (
 )
 from repro.engine import Cluster, StaleHandleError
 
-WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "2"))
-
 # Null-laden inputs: every attribute the operators touch goes through None
 # (and, for dedup, missing-key) cases.
-NULLY_FD = [
-    {
-        "addr": None if i % 7 == 0 else f"a{i % 5}",
-        "phone": None if i % 11 == 0 else f"{i % 5}{i % 3}-555",
-        "nation": None if i % 13 == 0 else i % 4,
-        "_rid": i,
-    }
-    for i in range(90)
-]
-NULLY_ORDERS = [
-    {
-        "price": None if i % 9 == 0 else float(100 + 13 * (i % 11)),
-        "qty": None if i % 17 == 0 else i % 5 + 1,
-        "_rid": i,
-    }
-    for i in range(80)
-]
-NULLY_DEDUP = [
-    {
-        "_rid": i,
-        "city": None if i % 6 == 0 else f"c{i % 3}",
-        "name": None if i % 5 == 0 else f"name {i % 8}",
-    }
-    for i in range(60)
-]
-PSI = DenialConstraint(
-    predicates=(
-        TuplePredicate("price", "<", "price"),
-        TuplePredicate("qty", ">", "qty"),
-    ),
-)
+NULLY_FD = nully_fd_rows()
+NULLY_ORDERS = nully_orders_rows()
+NULLY_DEDUP = nully_dedup_rows()
+PSI = psi_constraint()
 
 
 def _row_fd(records, num_nodes=4):
@@ -166,10 +142,7 @@ class TestHandleParityNullLaden:
         assert repr(par) == row
 
 
-def _split(records, cluster):
-    from repro.sources.columnar import round_robin_split
-
-    return round_robin_split(records, cluster.default_parallelism)
+_split = split_for
 
 
 class TestVersionInvalidation:
@@ -178,12 +151,7 @@ class TestVersionInvalidation:
 
     @staticmethod
     def _dirty_rows():
-        rows = [
-            {"price": float(i), "qty": i // 20, "cat": f"c{i % 2}"}
-            for i in range(200)
-        ]
-        rows[30]["qty"] += 3  # a violating outlier
-        return rows
+        return dirty_lineitem_rows()
 
     def test_repair_dc_invalidates_stale_handles(self):
         rule = "t1.price < t2.price and t1.qty > t2.qty"
@@ -296,5 +264,89 @@ class TestVersionInvalidation:
             db.close()
             second = db.check_fd("lineitem", ["cat"], ["qty"])
             assert repr(first) == repr(second)
+        finally:
+            db.close()
+
+
+class TestDeltaFaults:
+    """Fault injection on the ``append_rows``/``update_rows`` delta path."""
+
+    RULE = "t1.price < t2.price and t1.qty > t2.qty"
+
+    def test_worker_death_mid_delta_falls_back_cold(self):
+        """A worker dying while a delta patch is in flight invalidates the
+        store; the mutation still lands, the next check re-pins cold, and
+        the result matches a cold oracle on the post-delta table."""
+        db = CleanDB(num_nodes=4, execution="parallel", workers=WORKERS,
+                     incremental=True)
+        oracle = CleanDB(num_nodes=4)
+        try:
+            db.register_table("lineitem", dirty_lineitem_rows())
+            db.check_dc("lineitem", self.RULE)  # pin + build resident state
+            pool = db.cluster.pool
+            assert pool.pinned("table:lineitem", 1) is not None
+            pool._procs[0].terminate()  # crash a worker under the store
+            pool._procs[0].join(timeout=5.0)
+            db.append_rows(
+                "lineitem", [{"price": 0.5, "qty": 9, "cat": "c1"}]
+            )
+            # The patch failed, so no delta op was recorded and the store
+            # was re-pinned from scratch at the new version.
+            assert db.cluster.metrics.rows_delta == 0
+            assert pool.pinned("table:lineitem", 1) is None
+            assert pool.pinned("table:lineitem", 2) is not None
+            oracle.register_table("lineitem", list(db.table("lineitem")))
+            assert repr(db.check_dc("lineitem", self.RULE)) == repr(
+                oracle.check_dc("lineitem", self.RULE)
+            )
+        finally:
+            db.close()
+            oracle.close()
+
+    @pytest.mark.parametrize("execution", ("row", "vectorized", "parallel"))
+    def test_refresh_table_drops_incremental_state(self, execution):
+        """``refresh_table`` after an external in-place mutation must drop
+        the maintained states and the rid index on every backend — they
+        mirror rows the mutation changed behind their back, so serving
+        from them would resurrect the pre-edit answer."""
+        kwargs = dict(num_nodes=4, execution=execution, incremental=True)
+        if execution == "parallel":
+            kwargs["workers"] = WORKERS
+        db = CleanDB(**kwargs)
+        try:
+            db.register_table("lineitem", dirty_lineitem_rows())
+            assert db.check_dc("lineitem", self.RULE)  # build resident state
+            assert "lineitem" in db._inc_tables
+            db.update_rows("lineitem", {0: dict(db.table("lineitem")[0])})
+            assert "lineitem" in db._rid_index
+            for row in db.table("lineitem"):
+                row["qty"] = 1  # repair in place, behind the mirror's back
+            db.refresh_table("lineitem")
+            assert "lineitem" not in db._inc_tables
+            assert "lineitem" not in db._rid_index
+            assert db.check_dc("lineitem", self.RULE) == []
+        finally:
+            db.close()
+
+    def test_append_rows_invalidates_stale_handles(self):
+        """A handle held across ``append_rows`` must fail loudly — the
+        delta patch moves the pin to the new version and evicts the old."""
+        db = CleanDB(num_nodes=4, execution="parallel", workers=WORKERS,
+                     incremental=True)
+        try:
+            db.register_table("lineitem", dirty_lineitem_rows())
+            db.check_dc("lineitem", self.RULE)
+            pool = db.cluster.pool
+            stale_refs = pool.pinned("table:lineitem", 1)
+            assert stale_refs is not None
+            db.append_rows(
+                "lineitem", [{"price": 500.0, "qty": 0, "cat": "c0"}]
+            )
+            # The patch shipped one row, not the table.
+            assert db.cluster.metrics.rows_delta == 1
+            assert pool.pinned("table:lineitem", 1) is None
+            assert pool.pinned("table:lineitem", 2) is not None
+            with pytest.raises(StaleHandleError):
+                pool.fetch(stale_refs)
         finally:
             db.close()

@@ -9,12 +9,11 @@ The three backends must additionally agree pair-for-pair in order
 (byte-identical output), which the cross-backend test pins down.
 """
 
-import os
-
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
+from fixtures import SETTINGS, WORKERS, record_sets, with_rids
 from repro.cleaning.denial import (
     DenialConstraint,
     SingleFilter,
@@ -24,23 +23,6 @@ from repro.cleaning.denial import (
     check_dc_parallel,
 )
 from repro.engine import Cluster
-
-WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "2"))
-
-SETTINGS = settings(
-    max_examples=25,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
-)
-
-# Small domains force collisions (equal keys, equal band values, both
-# orders violating) and the None weight injects nulls everywhere.
-values = st.one_of(st.none(), st.integers(min_value=-3, max_value=3))
-record_sets = st.lists(
-    st.fixed_dictionaries({"a": values, "b": values, "c": values}),
-    min_size=0,
-    max_size=12,
-)
 
 CONSTRAINTS = st.sampled_from(
     [
@@ -97,8 +79,7 @@ CONSTRAINTS = st.sampled_from(
 )
 
 
-def _with_rids(records):
-    return [dict(r, _rid=i) for i, r in enumerate(records)]
+_with_rids = with_rids
 
 
 def oracle_pairs(records, constraint):
