@@ -20,6 +20,7 @@ BENCH_PATH = Path(__file__).parent / "BENCH_fig8.json"
 BENCH_DC_PATH = Path(__file__).parent / "BENCH_dc.json"
 BENCH_FIG5_PATH = Path(__file__).parent / "BENCH_fig5.json"
 BENCH_INCREMENTAL_PATH = Path(__file__).parent / "BENCH_incremental.json"
+BENCH_SERVE_PATH = Path(__file__).parent / "BENCH_serve.json"
 SCHEMA_VERSION = 1
 
 
@@ -82,3 +83,10 @@ def emit_incremental(section: str, payload: dict) -> dict:
     ``BENCH_incremental.json`` (cold / warm / 1%-delta wall-clock per
     cleaning operation, plus delta transport volume)."""
     return emit_bench(BENCH_INCREMENTAL_PATH, section, payload)
+
+
+def emit_serve(section: str, payload: dict) -> dict:
+    """Merge one serving-layer load-generator result into
+    ``BENCH_serve.json`` (serial vs concurrent latency percentiles,
+    throughput, and the consolidation speedup)."""
+    return emit_bench(BENCH_SERVE_PATH, section, payload)

@@ -196,6 +196,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dc.add_argument("--metrics", action="store_true", help="print execution metrics")
 
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "run a multi-tenant workload: N concurrent cleaning queries "
+            "over one shared worker pool"
+        ),
+    )
+    serve.add_argument(
+        "--table",
+        action="append",
+        default=[],
+        metavar="[TENANT/]NAME=PATH:FORMAT[:SCHEMA]",
+        help=(
+            "register a data source in a tenant's namespace (repeatable; "
+            "no TENANT/ prefix registers under the 'default' tenant)"
+        ),
+    )
+    serve.add_argument(
+        "--workload",
+        required=True,
+        metavar="FILE.json",
+        help=(
+            "JSON workload: a list of query specs, each with 'tenant', "
+            "'op' (fd/dedup/dc/sql) and the op's fields — or an object "
+            "{'queries': [...], 'budgets': {tenant: cost}}"
+        ),
+    )
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="worker processes in the shared pool")
+    serve.add_argument("--nodes", type=int, default=10,
+                       help="simulated cluster size per tenant session")
+    serve.add_argument(
+        "--store-cap",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help=(
+            "cap on the shared store's pinned bytes; past it, idle "
+            "tenants' LRU tables are unpinned (they re-pin on next use)"
+        ),
+    )
+    serve.add_argument(
+        "--sequential",
+        action="store_true",
+        help="admit queries one at a time (the serial baseline)",
+    )
+    serve.add_argument("--metrics", action="store_true",
+                       help="print per-query metrics")
+
     sub.add_parser("formats", help="list supported storage formats")
     return parser
 
@@ -218,6 +267,13 @@ def run_dc(args: Any) -> int:
         load_tables(args.table, db)
         names = list(db._tables)
         if args.on:
+            # Validate eagerly: an unknown --on must surface as the CLI's
+            # clean "error: ..." contract, never a raw traceback.
+            if args.on not in names:
+                known = ", ".join(sorted(names)) or "(none)"
+                raise ValueError(
+                    f"--on names unknown table {args.on!r}; registered: {known}"
+                )
             table = args.on
         elif len(names) == 1:
             table = names[0]
@@ -251,6 +307,74 @@ def run_dc(args: Any) -> int:
     return 0
 
 
+def run_serve(args: Any) -> int:
+    """The ``serve`` subcommand: drive a multi-tenant workload against one
+    shared worker pool and report per-query outcomes plus a latency
+    summary.  Exit code 0 iff every query finished ok."""
+    from .serving import CleanService
+
+    try:
+        with open(args.workload, "r", encoding="utf-8") as handle:
+            workload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read workload: {exc}", file=sys.stderr)
+        return 1
+    if isinstance(workload, dict):
+        queries = workload.get("queries", [])
+        budgets = workload.get("budgets", {})
+    else:
+        queries, budgets = workload, {}
+    if not isinstance(queries, list) or not all(
+        isinstance(q, dict) for q in queries
+    ):
+        print("error: workload queries must be a list of objects", file=sys.stderr)
+        return 1
+
+    service = CleanService(
+        workers=args.workers,
+        num_nodes=args.nodes,
+        store_bytes_cap=args.store_cap,
+    )
+    try:
+        for tenant, budget in budgets.items():
+            service.session(tenant, budget=float(budget))
+        catalog = Catalog()
+        for spec in args.table:
+            name, path, fmt, schema = parse_table_spec(spec)
+            tenant, _, table = name.rpartition("/")
+            tenant = tenant or "default"
+            key = f"{tenant}.{table}"
+            catalog.register(key, path, fmt, schema)
+            service.register_table(tenant, table, catalog.load(key), fmt=fmt)
+        report = service.run_queries(queries, sequential=args.sequential)
+    except (ReproError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        service.close()
+
+    for i, outcome in enumerate(report.outcomes):
+        line = (
+            f"[{i}] {outcome.tenant}/{outcome.op}: {outcome.status} "
+            f"({outcome.latency_seconds * 1000:.1f} ms)"
+        )
+        if outcome.ok and isinstance(outcome.rows, list):
+            line += f" -> {len(outcome.rows)} rows"
+        elif not outcome.ok:
+            line += f" -- {outcome.error}"
+        print(line)
+        if args.metrics and outcome.ok:
+            print(json.dumps(outcome.metrics, indent=2, sort_keys=True))
+    summary = report.summary()
+    print(
+        f"-- {len(report.outcomes)} queries in {summary['elapsed_seconds']:.3f}s: "
+        f"{summary['throughput_qps']:.1f} q/s, "
+        f"p50 {summary['p50_seconds'] * 1000:.1f} ms, "
+        f"p99 {summary['p99_seconds'] * 1000:.1f} ms --"
+    )
+    return 0 if report.all_ok else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "formats":
@@ -258,6 +382,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.command == "dc":
         return run_dc(args)
+    if args.command == "serve":
+        return run_serve(args)
 
     sql = args.sql
     if sql.startswith("@"):

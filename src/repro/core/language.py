@@ -125,6 +125,20 @@ class CleanDB:
     q / k / delta:
         Blocking parameters: q-gram length for token filtering, number of
         centers and assignment slack for k-means.
+    namespace:
+        Logical tenant prefix for this instance's pinned tables in the
+        worker store: pins live under ``<namespace>/table:<name>`` instead
+        of ``table:<name>``.  Two CleanDB instances sharing one pool (see
+        ``pool``) with different namespaces can each register a table
+        called ``"customer"`` without colliding — the serving layer gives
+        every tenant its own namespace.  Empty (the default) keeps the
+        unprefixed naming.
+    pool:
+        An externally owned shared :class:`~repro.engine.parallel.
+        WorkerPool` to run parallel stages on, instead of a private lazy
+        pool.  :meth:`close` detaches from a shared pool without
+        terminating it; pins made by this instance are evicted so the
+        shared store does not leak a departed tenant's partitions.
     """
 
     def __init__(
@@ -144,9 +158,18 @@ class CleanDB:
         k: int = 10,
         delta: float = 0.05,
         seed: int = 13,
+        namespace: str = "",
+        pool: Any = None,
     ):
+        if namespace and "/" in namespace:
+            raise ValueError(f"namespace {namespace!r} must not contain '/'")
+        self.namespace = namespace
         self.cluster = Cluster(
-            num_nodes=num_nodes, cost_model=cost_model, budget=budget, workers=workers
+            num_nodes=num_nodes,
+            cost_model=cost_model,
+            budget=budget,
+            workers=workers,
+            pool=pool,
         )
         self.config = config or PhysicalConfig()
         if execution is not None:
@@ -196,7 +219,13 @@ class CleanDB:
         """Release the worker pool (if ``execution="parallel"`` created one).
 
         Idempotent; the instance remains usable — a later parallel query
-        lazily re-creates the pool."""
+        lazily re-creates the pool.  On a *shared* pool this only detaches:
+        this instance's pins are evicted (a departed tenant must not leak
+        store memory) but the pool itself belongs to whoever created it."""
+        if not self.cluster._owns_pool and self.cluster.has_pool:
+            pool = self.cluster.pool
+            for name in self._table_versions:
+                pool.evict(self._pin_name(name))
         self.cluster.shutdown()
 
     def __enter__(self) -> "CleanDB":
@@ -229,6 +258,14 @@ class CleanDB:
         self._formats[name] = fmt
         self.refresh_table(name)
 
+    def _pin_name(self, name: str) -> str:
+        """The worker-store name a table pins under — tenant-qualified when
+        this instance has a namespace (``tenant/table:<name>``), so tenants
+        sharing a pool never alias each other's tables."""
+        if self.namespace:
+            return f"{self.namespace}/table:{name}"
+        return f"table:{name}"
+
     def _sync_pin(self, name: str) -> None:
         """Make the worker store reflect the table's current version.
 
@@ -243,7 +280,7 @@ class CleanDB:
         from ..sources.columnar import round_robin_split
 
         pool = self.cluster.pool
-        pin_name = f"table:{name}"
+        pin_name = self._pin_name(name)
         pool.evict(pin_name)
         rows = self._tables[name]
         log = ShipLog(pool)
@@ -269,14 +306,14 @@ class CleanDB:
         dispatch — None outside the parallel backend."""
         if self.config.execution != "parallel" or name not in self._table_versions:
             return None
-        return (f"table:{name}", self._table_versions[name])
+        return (self._pin_name(name), self._table_versions[name])
 
     def _pinned_map(self) -> dict[str, tuple[str, int]]:
         """Every registered table's pin identity (parallel backend only)."""
         if self.config.execution != "parallel":
             return {}
         return {
-            name: (f"table:{name}", version)
+            name: (self._pin_name(name), version)
             for name, version in self._table_versions.items()
         }
 
@@ -309,6 +346,29 @@ class CleanDB:
         self._inc_tables.pop(name, None)
         self._rid_index.pop(name, None)
         self._sync_pin(name)
+
+    def unpin_table(self, name: str) -> None:
+        """Evict a table's pinned partitions (and derived caches built on
+        them) from the worker store *without* forgetting the table.
+
+        The rows and version stay registered, so the next query touching
+        the table re-pins it under the same identity and later queries are
+        warm again — residency is a cache, not correctness.  This is the
+        serving layer's memory-pressure lever: its LRU governor unpins
+        cold tenants' tables when the shared store passes its byte cap.
+        No-op outside the parallel backend or for unknown names.
+        """
+        if self.config.execution != "parallel" or name not in self._table_versions:
+            return
+        if self.cluster.has_pool:
+            self.cluster.pool.evict(self._pin_name(name))
+
+    def pinned_table_bytes(self, name: str) -> int:
+        """Serialized bytes this table's pins hold in the worker store
+        (0 when unpinned or outside the parallel backend)."""
+        if self.config.execution != "parallel" or not self.cluster.has_pool:
+            return 0
+        return self.cluster.pool.pinned_nbytes(self._pin_name(name))
 
     # ------------------------------------------------------------------ #
     # Delta mutations
@@ -427,7 +487,7 @@ class CleanDB:
         )
 
         pool = self.cluster.pool
-        pin_name = f"table:{name}"
+        pin_name = self._pin_name(name)
         new_version = self._table_versions[name]
         n = self.cluster.default_parallelism
         rows_delta = len(appended) + len(updated)

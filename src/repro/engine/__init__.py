@@ -14,8 +14,10 @@ from .parallel import (
     ShipLog,
     StaleHandleError,
     StoreRef,
+    TransportCounters,
     WorkerPool,
     WorkerTaskError,
+    begin_transport_scope,
 )
 from .partitioner import (
     HashPartitioner,
@@ -36,8 +38,10 @@ __all__ = [
     "ShipLog",
     "StaleHandleError",
     "StoreRef",
+    "TransportCounters",
     "WorkerPool",
     "WorkerTaskError",
+    "begin_transport_scope",
     "Partitioner",
     "HashPartitioner",
     "RangePartitioner",

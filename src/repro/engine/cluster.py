@@ -40,6 +40,11 @@ class Cluster:
         DEFAULT_WORKERS` applies.  A value above ``num_nodes`` is clamped
         with a warning — a pool larger than the simulated cluster would
         give measured numbers the cost model cannot explain.
+    pool:
+        An externally owned :class:`WorkerPool` to attach instead of
+        creating one lazily.  The serving layer hands every tenant's
+        cluster the same shared pool this way; a shared pool is *not*
+        terminated by :meth:`shutdown` — its owner decides its lifetime.
     """
 
     def __init__(
@@ -48,9 +53,12 @@ class Cluster:
         cost_model: CostModel | None = None,
         budget: float = math.inf,
         workers: int | None = None,
+        pool: WorkerPool | None = None,
     ):
         if num_nodes <= 0:
             raise ValueError("num_nodes must be positive")
+        if pool is not None and workers is not None:
+            raise ValueError("pass workers= or pool=, not both")
         if workers is not None:
             if workers < 1:
                 raise ValueError("workers must be positive")
@@ -66,7 +74,8 @@ class Cluster:
         self.budget = budget
         self.workers = workers
         self.metrics = MetricsCollector()
-        self._pool: WorkerPool | None = None
+        self._pool: WorkerPool | None = pool
+        self._owns_pool = pool is None
 
     # ------------------------------------------------------------------ #
     # Worker pool lifecycle
@@ -78,21 +87,30 @@ class Cluster:
 
     @property
     def pool(self) -> WorkerPool:
-        """The cluster's worker pool, created lazily on first access.
+        """The cluster's worker pool: the shared one it was built with, or
+        an owned pool created lazily on first access.
 
-        Pool size is ``workers`` (already clamped to ``num_nodes``) or the
-        module default when the cluster was built without an explicit count.
+        An owned pool's size is ``workers`` (already clamped to
+        ``num_nodes``) or the module default when the cluster was built
+        without an explicit count.
         """
+        if not self._owns_pool:
+            if self._pool is None or self._pool.closed:
+                raise RuntimeError("the cluster's shared worker pool is closed")
+            return self._pool
         if self._pool is None or self._pool.closed:
             size = self.workers or min(DEFAULT_WORKERS, self.num_nodes)
             self._pool = WorkerPool(size)
         return self._pool
 
     def shutdown(self) -> None:
-        """Terminate the worker pool (if any).  Idempotent; the cluster
-        remains usable for simulated-only execution afterwards."""
+        """Release the worker pool.  Idempotent; the cluster remains usable
+        for simulated-only execution afterwards.  An *owned* pool is
+        terminated; a shared pool is merely detached — the serving layer
+        that handed it out owns its lifetime."""
         if self._pool is not None:
-            self._pool.shutdown()
+            if self._owns_pool:
+                self._pool.shutdown()
             self._pool = None
 
     def __enter__(self) -> "Cluster":
@@ -104,9 +122,12 @@ class Cluster:
     def _check_budget(self, name: str) -> None:
         spent = self.metrics.simulated_time
         if spent > self.budget:
-            # Abort outstanding parallel work before surfacing the error so
-            # a budget blow-up never leaks worker processes.
-            self.shutdown()
+            # Query-scoped abort: raise without touching the pool.  The
+            # aborting stage's try/finally blocks discard its own
+            # intermediates, while pinned tables, derived caches, and any
+            # other tenant's state on a shared pool stay resident.  Pool
+            # processes are released by the owner's close()/shutdown()
+            # (e.g. CleanDB.close(), System._run's finally).
             raise BudgetExceededError(
                 f"simulated cost {spent:.0f} exceeded budget {self.budget:.0f} "
                 f"during {name!r}",

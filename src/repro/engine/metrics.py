@@ -249,6 +249,27 @@ class MetricsCollector:
         self.comparisons = 0
         self.verified = 0
 
+    def snapshot(self) -> tuple[int, int, int]:
+        """A position marker ``(ops, comparisons, verified)`` for
+        :meth:`summary_since` — how far the collector has advanced.
+
+        A tenant session's collector accumulates across every query it
+        runs; the serving layer brackets each query with a snapshot so the
+        per-query outcome reports only that query's cost.
+        """
+        return (len(self.ops), self.comparisons, self.verified)
+
+    def summary_since(self, snapshot: tuple[int, int, int]) -> dict[str, float]:
+        """:meth:`summary` restricted to what was recorded after
+        ``snapshot`` was taken."""
+        num_ops, comparisons, verified = snapshot
+        window = MetricsCollector(
+            ops=list(self.ops[num_ops:]),
+            comparisons=self.comparisons - comparisons,
+            verified=self.verified - verified,
+        )
+        return window.summary()
+
     def summary(self) -> dict[str, float]:
         """A compact dictionary summary, convenient for reports and tests."""
         return {

@@ -33,11 +33,23 @@ Design constraints, in order:
   pre-pickled by the sender, so the pool counts exactly how many bytes and
   payloads each stage shipped (``bytes_shipped`` / ``ship_count``).  Handle
   -based stages ship a few hundred bytes where ship-per-task execution
-  ships the whole table.
-* **Clean aborts** — ``shutdown()`` terminates outstanding work
-  immediately; the cluster calls it when the simulated budget is exceeded
-  so a ``BudgetExceededError`` tears the whole pool down instead of leaking
-  processes.
+  ships the whole table.  Accounting is *token-scoped*: each public call
+  tallies its own transport and folds it into both the pool totals and the
+  calling context's :class:`TransportCounters`, so interleaved callers
+  never see each other's bytes (:class:`ShipLog` reads the context ledger,
+  not the shared totals).
+* **Concurrent callers** — the serving layer drives one pool from many
+  threads.  Dispatch (shipping pins and task batches) is serialized by a
+  FIFO ticket lock so each stage's commands land contiguously and fairly —
+  stage-granularity interleaving, no head-of-line blocking across queries
+  — while reply collection runs *outside* the lock: one caller at a time
+  pumps the shared result queue and routes other callers' replies to them
+  by task id, so worker compute for one query overlaps driver-side work
+  for another.
+* **Query-scoped aborts** — a failing or aborted call leaves the pool and
+  every other caller's pinned state intact; ``shutdown()`` (an explicit
+  lifecycle decision, e.g. ``CleanDB.close()``) terminates outstanding
+  work immediately rather than waiting for queued partitions.
 
 Task functions must be importable module-level callables and all task
 arguments picklable — the executors' `supports` checks enforce this before
@@ -51,8 +63,11 @@ import multiprocessing
 import pickle
 import queue as queue_mod
 import sys
+import threading
 import time
 import traceback
+from collections import OrderedDict
+from contextvars import ContextVar
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
@@ -73,6 +88,14 @@ _POLL_SECONDS = 0.2
 # distinct constraints must not grow worker memory without bound: the
 # least-recently-used entry's store partitions are evicted past this cap.
 DERIVED_CACHE_LIMIT = 16
+
+# Distinct task functions the registry keeps resident.  Functions are keyed
+# by their pickled form, so re-created equivalent closures/partials collapse
+# onto one entry; past the cap the least-recently-used function is dropped
+# from the driver registry *and* the workers (``func_del``) and simply
+# re-ships if it ever comes back.  A long-lived serving pool stays bounded
+# no matter how many ad-hoc callables pass through it.
+FUNC_REGISTRY_LIMIT = 128
 
 _OK = "ok"
 _STORED = "stored"  # result kept worker-resident; only a handle returns
@@ -116,6 +139,108 @@ class StoreRef:
     version: int
     part: int
     count: int = -1
+
+
+class TransportCounters:
+    """Per-context transport ledger: what *this* logical caller shipped.
+
+    The pool credits every finished call to the :mod:`contextvars` ledger
+    of the context it ran in, so two queries interleaving on one pool each
+    read only their own bytes/ships/wall.  :class:`ShipLog` diffs this
+    ledger; :func:`begin_transport_scope` installs a fresh one at the top
+    of a serving query thread.
+    """
+
+    __slots__ = ("wall_seconds", "bytes_shipped", "ship_count")
+
+    def __init__(self) -> None:
+        self.wall_seconds = 0.0
+        self.bytes_shipped = 0
+        self.ship_count = 0
+
+
+_TRANSPORT: ContextVar[TransportCounters | None] = ContextVar(
+    "repro_transport_counters", default=None
+)
+
+
+def _context_counters() -> TransportCounters:
+    counters = _TRANSPORT.get()
+    if counters is None:
+        counters = TransportCounters()
+        _TRANSPORT.set(counters)
+    return counters
+
+
+def begin_transport_scope() -> TransportCounters:
+    """Give the current context its own fresh transport ledger.
+
+    Threads spawned via ``asyncio.to_thread`` *copy* the submitting task's
+    context, so sibling query threads would otherwise share (and race on)
+    one inherited :class:`TransportCounters` object.  The serving layer
+    calls this at the top of each query thread; single-threaded callers
+    never need to — a ledger is created lazily on first use.
+    """
+    counters = TransportCounters()
+    _TRANSPORT.set(counters)
+    return counters
+
+
+class _CallRecord:
+    """Transport tally for one public pool call (one token's worth)."""
+
+    __slots__ = ("bytes", "ships", "wall", "tasks")
+
+    def __init__(self) -> None:
+        self.bytes = 0
+        self.ships = 0
+        self.wall: float | None = None
+        self.tasks = 0
+
+
+class _FairLock:
+    """FIFO ticket lock: dispatch turns are granted in arrival order.
+
+    A plain ``threading.Lock`` makes no fairness promise, so one hot query
+    thread could re-acquire back-to-back and starve the others.  Tickets
+    guarantee stage-granularity round-robin across concurrent queries.
+    Reentrant for its owner thread.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._next_ticket = 0
+        self._serving = 0
+        self._owner: int | None = None
+        self._depth = 0
+
+    def acquire(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._owner == me:
+                self._depth += 1
+                return
+            ticket = self._next_ticket
+            self._next_ticket += 1
+            while ticket != self._serving:
+                self._cond.wait()
+            self._owner = me
+            self._depth = 1
+
+    def release(self) -> None:
+        with self._cond:
+            self._depth -= 1
+            if self._depth == 0:
+                self._owner = None
+                self._serving += 1
+                self._cond.notify_all()
+
+    def __enter__(self) -> "_FairLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.release()
 
 
 def _failure_envelope(exc: BaseException) -> tuple:
@@ -218,6 +343,8 @@ def _worker_main(inbox: Any, outbox: Any) -> None:
             except Exception as exc:  # noqa: BLE001 - tasks naming fid get
                 # a diagnosable envelope instead of a dead worker
                 funcs[fid] = _BrokenBlob(repr(exc))
+        elif kind == "func_del":
+            funcs.pop(cmd[1], None)
         elif kind == "evict":
             _, name, version = cmd
             for key in [k for k in store if k[0] == name and (version is None or k[1] == version)]:
@@ -250,6 +377,11 @@ class WorkerPool:
     lives on worker ``p % workers``, and a task for partition ``p`` runs on
     that same worker, so handles always resolve locally — there is no
     remote read path.
+
+    The pool is safe to drive from multiple threads: dispatch is FIFO
+    ticket-locked (fair stage interleaving), reply collection routes each
+    caller its own task replies, and transport counters are credited per
+    call to the caller's context ledger.
     """
 
     def __init__(self, workers: int, start_method: str | None = None):
@@ -266,20 +398,39 @@ class WorkerPool:
         for _ in range(workers):
             self._spawn_worker()
         self._closed = False
-        # Function registry: each distinct task function ships to a worker
-        # once and is referenced by id in every payload afterwards.
-        self._func_ids: dict[Callable, int] = {}
+        # Dispatch serialization (FIFO across caller threads) and the small
+        # guards for shared driver-side state.  ``_reply_cond`` protects the
+        # reply router; ``_store_lock`` the pin/derived registries;
+        # ``_stats_lock`` the pool-level counters.
+        self._dispatch_lock = _FairLock()
+        self._store_lock = threading.RLock()
+        self._stats_lock = threading.Lock()
+        self._reply_cond = threading.Condition()
+        self._reply_buffers: dict[int, tuple] = {}  # task_id -> reply tail
+        self._abandoned: set[int] = set()  # aborted tasks: drop late replies
+        self._pump_busy = False  # one thread at a time drains the outbox
+        # Bumped when worker ``w`` is replaced; a caller whose tasks were
+        # queued against an older generation knows they are lost.
+        self._worker_gen: list[int] = [0] * workers
+        # Function registry: keyed by the *pickled form* of the callable so
+        # re-created equivalent closures map to the same id; LRU-bounded at
+        # FUNC_REGISTRY_LIMIT with monotonically increasing ids (an evicted
+        # id is never reused, so a stale worker entry can't alias).
+        self._func_ids: OrderedDict[bytes, int] = OrderedDict()
+        self._func_counter = 0
         self._worker_funcs: list[set[int]] = [set() for _ in range(workers)]
         # Driver-side view of the partition store: pinned/broadcast names
         # and their handles, plus the derived-result cache fast paths use
         # to skip whole stages on a warm store.
         self._pins: dict[tuple[str, int], list[StoreRef]] = {}
+        self._pin_sizes: dict[tuple[str, int], int] = {}
         self._derived: dict[tuple, dict] = {}
         self._task_counter = 0
         self._version_counter = 0
         # Observability: real time spent waiting on worker results, tasks
         # dispatched, and transport volume.  ``last_*`` describe the most
-        # recent public call — stages attach them to their op metrics.
+        # recently *finished* public call; under concurrency, per-op metrics
+        # come from the context ledger (ShipLog), not these.
         self.wall_seconds_total = 0.0
         self.last_wall_seconds = 0.0
         self.tasks_dispatched = 0
@@ -304,28 +455,53 @@ class WorkerPool:
 
     def next_version(self) -> int:
         """A pool-unique version number for ad-hoc pins and stage outputs."""
-        self._version_counter += 1
-        return self._version_counter
+        with self._stats_lock:
+            self._version_counter += 1
+            return self._version_counter
 
-    def _ship(self, worker: int, command: tuple, nbytes: int) -> None:
+    def _ship(self, worker: int, command: tuple, nbytes: int, call: _CallRecord) -> None:
         self._inboxes[worker].put(command)
-        self.bytes_shipped_total += nbytes
-        self.ship_count_total += 1
-        self.last_bytes_shipped += nbytes
-        self.last_ship_count += 1
+        call.bytes += nbytes
+        call.ships += 1
 
-    def _begin_call(self) -> None:
-        self.last_bytes_shipped = 0
-        self.last_ship_count = 0
+    def _finish_call(self, call: _CallRecord) -> None:
+        """Fold one finished call into the pool totals, the ``last_*``
+        snapshot, and the calling context's transport ledger."""
+        with self._stats_lock:
+            self.bytes_shipped_total += call.bytes
+            self.ship_count_total += call.ships
+            self.last_bytes_shipped = call.bytes
+            self.last_ship_count = call.ships
+            if call.wall is not None:
+                self.wall_seconds_total += call.wall
+                self.last_wall_seconds = call.wall
+                self.tasks_dispatched += call.tasks
+        counters = _context_counters()
+        counters.bytes_shipped += call.bytes
+        counters.ship_count += call.ships
+        if call.wall is not None:
+            counters.wall_seconds += call.wall
 
-    def _ensure_func(self, worker: int, func: Callable) -> int:
-        fid = self._func_ids.get(func)
+    def _ensure_func(self, worker: int, fblob: bytes, call: _CallRecord) -> int:
+        """Resolve (or register) the function id for a pickled callable and
+        make sure worker ``worker`` holds it.  Caller holds the dispatch
+        lock."""
+        fid = self._func_ids.get(fblob)
         if fid is None:
-            fid = len(self._func_ids)
-            self._func_ids[func] = fid
+            fid = self._func_counter
+            self._func_counter += 1
+            self._func_ids[fblob] = fid
+            while len(self._func_ids) > FUNC_REGISTRY_LIMIT:
+                _, old_fid = self._func_ids.popitem(last=False)
+                for w in range(self.workers):
+                    if old_fid in self._worker_funcs[w]:
+                        self._worker_funcs[w].discard(old_fid)
+                        if self._procs[w].is_alive():
+                            self._inboxes[w].put(("func_del", old_fid))
+        else:
+            self._func_ids.move_to_end(fblob)
         if fid not in self._worker_funcs[worker]:
-            blob = pickle.dumps(func)
-            self._ship(worker, ("func", fid, blob), len(blob))
+            self._ship(worker, ("func", fid, fblob), len(fblob), call)
             self._worker_funcs[worker].add(fid)
         return fid
 
@@ -340,34 +516,76 @@ class WorkerPool:
         Partition ``p`` goes to worker ``p % workers``.  Commands on a
         worker's queue are processed in order, so a task dispatched after
         ``pin`` returns is guaranteed to see the stored partition.
+
+        On a mid-loop serialization failure the already-shipped partitions
+        are evicted before the error propagates — a partial pin must never
+        strand unreferenced partitions in worker stores.
         """
         if self._closed:
             raise RuntimeError("worker pool is closed")
-        self._begin_call()
+        call = _CallRecord()
         refs: list[StoreRef] = []
-        for p, part in enumerate(partitions):
-            blob = pickle.dumps(part)
-            self._ship(p % self.workers, ("pin", name, version, p, blob), len(blob))
-            count = len(part) if hasattr(part, "__len__") else -1
-            refs.append(StoreRef(name, version, p, count))
-        self._pins[(name, version)] = refs
+        nbytes = 0
+        try:
+            with self._dispatch_lock:
+                try:
+                    for p, part in enumerate(partitions):
+                        blob = pickle.dumps(part)
+                        self._ship(
+                            p % self.workers, ("pin", name, version, p, blob), len(blob), call
+                        )
+                        nbytes += len(blob)
+                        count = len(part) if hasattr(part, "__len__") else -1
+                        refs.append(StoreRef(name, version, p, count))
+                except Exception:
+                    for w in range(self.workers):
+                        if self._procs[w].is_alive():
+                            self._inboxes[w].put(("evict", name, version))
+                    raise
+            with self._store_lock:
+                self._pins[(name, version)] = refs
+                self._pin_sizes[(name, version)] = nbytes
+        finally:
+            self._finish_call(call)
         return refs
 
     def broadcast(self, name: str, version: int, obj: Any) -> StoreRef:
         """Ship one object to *every* worker; the handle resolves locally."""
         if self._closed:
             raise RuntimeError("worker pool is closed")
-        self._begin_call()
-        blob = pickle.dumps(obj)
-        for w in range(self.workers):
-            self._ship(w, ("pin", name, version, -1, blob), len(blob))
-        ref = StoreRef(name, version, -1, -1)
-        self._pins[(name, version)] = [ref]
+        call = _CallRecord()
+        try:
+            blob = pickle.dumps(obj)
+            with self._dispatch_lock:
+                try:
+                    for w in range(self.workers):
+                        self._ship(w, ("pin", name, version, -1, blob), len(blob), call)
+                except Exception:
+                    for w in range(self.workers):
+                        if self._procs[w].is_alive():
+                            self._inboxes[w].put(("evict", name, version))
+                    raise
+            ref = StoreRef(name, version, -1, -1)
+            with self._store_lock:
+                self._pins[(name, version)] = [ref]
+                self._pin_sizes[(name, version)] = len(blob) * self.workers
+        finally:
+            self._finish_call(call)
         return ref
 
     def pinned(self, name: str, version: int) -> list[StoreRef] | None:
         """Handles of a previously pinned name/version, if still valid."""
-        return self._pins.get((name, version))
+        with self._store_lock:
+            return self._pins.get((name, version))
+
+    def pinned_nbytes(self, name: str | None = None) -> int:
+        """Serialized bytes resident under pinned name(s) — the store-memory
+        figure the serving layer's LRU eviction governor budgets against.
+        ``name=None`` totals every pin."""
+        with self._store_lock:
+            if name is None:
+                return sum(self._pin_sizes.values())
+            return sum(sz for (n, _v), sz in self._pin_sizes.items() if n == name)
 
     def adopt(self, name: str, version: int, refs: Sequence[StoreRef]) -> None:
         """Register task-produced resident partitions as a pin.
@@ -379,19 +597,28 @@ class WorkerPool:
         delta patch promotes its result to the table's new version without
         the rows ever returning to the driver.
         """
-        self._pins[(name, version)] = list(refs)
+        with self._store_lock:
+            # No bytes crossed the boundary for the adopted version itself;
+            # carry the prior version's footprint so the eviction governor
+            # keeps seeing the table (deltas barely change its size).
+            prior = [sz for (n, _v), sz in self._pin_sizes.items() if n == name]
+            self._pins[(name, version)] = list(refs)
+            if prior:
+                self._pin_sizes[(name, version)] = max(prior)
 
     def evict(self, name: str, version: int | None = None) -> None:
         """Drop a pinned/broadcast name (one version or all of them) from
         every worker store, together with any derived results cached on top
         of it.  Idempotent; safe on a closed pool."""
-        for key in [k for k in self._pins if k[0] == name and (version is None or k[1] == version)]:
-            del self._pins[key]
-        for key, payload in list(self._derived.items()):
-            if key[1] == name and (version is None or key[2] == version):
-                for dep_name, dep_version in payload.get("store_names", ()):
-                    self.evict(dep_name, dep_version)
-                self._derived.pop(key, None)
+        with self._store_lock:
+            for key in [k for k in self._pins if k[0] == name and (version is None or k[1] == version)]:
+                del self._pins[key]
+                self._pin_sizes.pop(key, None)
+            for key, payload in list(self._derived.items()):
+                if key[1] == name and (version is None or key[2] == version):
+                    for dep_name, dep_version in payload.get("store_names", ()):
+                        self.evict(dep_name, dep_version)
+                    self._derived.pop(key, None)
         if self._closed:
             return
         for w in range(self.workers):
@@ -400,11 +627,12 @@ class WorkerPool:
 
     def derived(self, key: tuple) -> dict | None:
         """Driver-side cache payload for a derived result (warm path)."""
-        payload = self._derived.get(key)
-        if payload is not None:
-            # LRU touch: re-insert at the back of the (ordered) dict.
-            self._derived[key] = self._derived.pop(key)
-        return payload
+        with self._store_lock:
+            payload = self._derived.get(key)
+            if payload is not None:
+                # LRU touch: re-insert at the back of the (ordered) dict.
+                self._derived[key] = self._derived.pop(key)
+            return payload
 
     def register_derived(self, key: tuple, payload: dict) -> None:
         """Cache a derived result keyed ``(kind, base_name, base_version,
@@ -413,19 +641,22 @@ class WorkerPool:
         cache is bounded at :data:`DERIVED_CACHE_LIMIT` entries — the
         least-recently-used entry (and its worker-resident state) is
         evicted past the cap."""
-        self._derived[key] = payload
-        while len(self._derived) > DERIVED_CACHE_LIMIT:
-            oldest_key = next(iter(self._derived))
-            oldest = self._derived.pop(oldest_key)
-            for dep_name, dep_version in oldest.get("store_names", ()):
-                self.evict(dep_name, dep_version)
+        with self._store_lock:
+            self._derived[key] = payload
+            while len(self._derived) > DERIVED_CACHE_LIMIT:
+                oldest_key = next(iter(self._derived))
+                oldest = self._derived.pop(oldest_key)
+                for dep_name, dep_version in oldest.get("store_names", ()):
+                    self.evict(dep_name, dep_version)
 
     def invalidate_store(self) -> None:
         """Forget every pin, broadcast, and derived result — and clear the
         surviving workers' stores.  Called on worker death: a table whose
         partitions partly lived on the dead worker is no longer resident."""
-        self._pins.clear()
-        self._derived.clear()
+        with self._store_lock:
+            self._pins.clear()
+            self._pin_sizes.clear()
+            self._derived.clear()
         if self._closed:
             return
         for w in range(self.workers):
@@ -469,32 +700,48 @@ class WorkerPool:
         """
         if self._closed:
             raise RuntimeError("worker pool is closed")
-        self._begin_call()
+        call = _CallRecord()
         start = time.perf_counter()
         pending: dict[int, tuple[int, int]] = {}  # task_id -> (index, worker)
+        task_gens: dict[int, int] = {}  # task_id -> worker generation at dispatch
         task_parts: list[int] = []
         tasks = [tuple(args) for args in args_list]
+        replies: dict[int, tuple] = {}
         try:
-            for i, args in enumerate(tasks):
-                part = self._part_for(args, i, parts)
-                worker = part % self.workers
-                fid = self._ensure_func(worker, func)
-                blob = pickle.dumps(args)
-                task_id = self._task_counter
-                self._task_counter += 1
-                store_key = (store_as[0], store_as[1], part) if store_as else None
-                self._ship(
-                    worker,
-                    ("task", task_id, fid, blob, store_key, returning),
-                    len(blob),
-                )
-                pending[task_id] = (i, worker)
-                task_parts.append(part)
-            replies = self._collect(pending)
+            with self._dispatch_lock:
+                fblob = pickle.dumps(func) if tasks else b""
+                for i, args in enumerate(tasks):
+                    part = self._part_for(args, i, parts)
+                    worker = part % self.workers
+                    fid = self._ensure_func(worker, fblob, call)
+                    blob = pickle.dumps(args)
+                    task_id = self._task_counter
+                    self._task_counter += 1
+                    store_key = (store_as[0], store_as[1], part) if store_as else None
+                    self._ship(
+                        worker,
+                        ("task", task_id, fid, blob, store_key, returning),
+                        len(blob),
+                        call,
+                    )
+                    pending[task_id] = (i, worker)
+                    task_gens[task_id] = self._worker_gen[worker]
+                    task_parts.append(part)
+            self._collect(pending, task_gens, replies, call)
+        except BaseException:
+            # Abort path: any reply still in flight belongs to no one now.
+            # Mark the unfinished tasks so the router drops their late
+            # replies instead of buffering them forever.
+            with self._reply_cond:
+                for task_id in pending:
+                    if task_id not in replies:
+                        self._abandoned.add(task_id)
+                        self._reply_buffers.pop(task_id, None)
+            raise
         finally:
-            self.last_wall_seconds = time.perf_counter() - start
-            self.wall_seconds_total += self.last_wall_seconds
-            self.tasks_dispatched += len(tasks)
+            call.wall = time.perf_counter() - start
+            call.tasks = len(tasks)
+            self._finish_call(call)
         results: list[Any] = [None] * len(tasks)
         failure: tuple[int, tuple] | None = None
         for task_id, reply in replies.items():
@@ -524,56 +771,135 @@ class WorkerPool:
                 return arg.part
         return index
 
-    def _collect(self, pending: dict[int, tuple[int, int]]) -> dict[int, tuple]:
-        """Gather one reply per pending task, watching for worker death."""
-        replies: dict[int, tuple] = {}
+    def _collect(
+        self,
+        pending: dict[int, tuple[int, int]],
+        task_gens: dict[int, int],
+        replies: dict[int, tuple],
+        call: _CallRecord,
+    ) -> None:
+        """Gather one reply per pending task, watching for worker death.
+
+        Concurrent calls share one result queue: whichever caller currently
+        holds the pump role drains it and routes foreign replies to their
+        owners' buffers; everyone else waits on the router condition and
+        picks its own replies out of the buffer.  Reply payload bytes are
+        credited to the *owning* call when its thread drains them.
+        """
         waiting = set(pending)
         while waiting:
+            got = self._poll_replies(waiting)
+            if not got:
+                self._check_lost_tasks(pending, task_gens, waiting)
+                continue
+            for task_id, tail in got:
+                replies[task_id] = tail
+                waiting.discard(task_id)
+                # Bytes received back from workers are transport volume too.
+                for item in tail:
+                    if isinstance(item, bytes):
+                        call.bytes += len(item)
+                call.ships += 1
+
+    def _poll_replies(self, waiting: set[int]) -> list[tuple[int, tuple]]:
+        """One bounded wait for replies to ``waiting`` tasks.
+
+        Returns any of *our* replies that arrived (possibly drained by
+        another thread's pump into our buffer); an empty list means a poll
+        interval elapsed and the caller should run its liveness checks.
+        """
+        mine: list[tuple[int, tuple]] = []
+
+        def _drain_buffers() -> None:
+            for task_id in list(waiting):
+                tail = self._reply_buffers.pop(task_id, None)
+                if tail is not None:
+                    mine.append((task_id, tail))
+
+        with self._reply_cond:
+            _drain_buffers()
+            if mine:
+                return mine
+            if self._pump_busy:
+                # Someone else is draining the shared outbox; wait for them
+                # to route a reply (or for a poll interval to pass).
+                self._reply_cond.wait(_POLL_SECONDS)
+                _drain_buffers()
+                return mine
+            self._pump_busy = True
+        try:
             try:
                 reply = self._outbox.get(timeout=_POLL_SECONDS)
-            except queue_mod.Empty:
-                dead = {
-                    worker
-                    for task_id, (_, worker) in pending.items()
-                    if task_id in waiting and not self._procs[worker].is_alive()
-                }
-                if dead:
-                    self._handle_worker_death(dead)
-                continue
+            except (queue_mod.Empty, OSError, ValueError):
+                # Closed-queue errors during shutdown behave like a timeout;
+                # the caller's liveness check surfaces the real state.
+                return []
             task_id = reply[0]
-            if task_id not in waiting:
-                continue  # stale reply from an aborted batch
-            replies[task_id] = reply[1:]
-            waiting.discard(task_id)
-            # Bytes received back from workers are transport volume too.
-            for item in reply[1:]:
-                if isinstance(item, bytes):
-                    self.bytes_shipped_total += len(item)
-                    self.last_bytes_shipped += len(item)
-            self.ship_count_total += 1
-            self.last_ship_count += 1
-        return replies
+            if task_id in waiting:
+                return [(task_id, tuple(reply[1:]))]
+            with self._reply_cond:
+                if task_id in self._abandoned:
+                    self._abandoned.discard(task_id)  # late reply: drop it
+                else:
+                    self._reply_buffers[task_id] = tuple(reply[1:])
+            return []
+        finally:
+            with self._reply_cond:
+                self._pump_busy = False
+                self._reply_cond.notify_all()
 
-    def _handle_worker_death(self, dead: set[int]) -> None:
-        """Replace dead workers, invalidate the store, surface the failure."""
-        for worker in dead:
-            proc = self._procs[worker]
-            proc.join(timeout=1.0)
-            inbox = self._ctx.Queue()
-            replacement = self._ctx.Process(
-                target=_worker_main, args=(inbox, self._outbox), daemon=True
+    def _check_lost_tasks(
+        self,
+        pending: dict[int, tuple[int, int]],
+        task_gens: dict[int, int],
+        waiting: set[int],
+    ) -> None:
+        """After an empty poll: is this call still going to get replies?
+
+        Raises when the pool was shut down, when a worker holding our tasks
+        died (we replace it), or when another caller already replaced it —
+        our queued tasks went with the old process either way.
+        """
+        if self._closed:
+            raise WorkerTaskError(
+                "worker pool shut down while tasks were outstanding",
+                exc_type="PoolClosed",
             )
-            replacement.start()
-            self._inboxes[worker] = inbox
-            self._procs[worker] = replacement
-            self._worker_funcs[worker] = set()
-        self.invalidate_store()
-        lost = ", ".join(str(w) for w in sorted(dead))
-        raise WorkerTaskError(
-            f"worker process {lost} died mid-task; partition store invalidated "
-            f"(pinned tables must re-pin)",
-            exc_type="WorkerDied",
+        dead: set[int] = set()
+        replaced: set[int] = set()
+        with self._reply_cond:
+            for task_id in waiting:
+                worker = pending[task_id][1]
+                if self._worker_gen[worker] != task_gens[task_id]:
+                    replaced.add(worker)
+                elif not self._procs[worker].is_alive():
+                    dead.add(worker)
+            for worker in dead:
+                self._replace_worker(worker)
+        if dead:
+            self.invalidate_store()
+        if dead or replaced:
+            lost = ", ".join(str(w) for w in sorted(dead | replaced))
+            raise WorkerTaskError(
+                f"worker process {lost} died mid-task; partition store "
+                f"invalidated (pinned tables must re-pin)",
+                exc_type="WorkerDied",
+            )
+
+    def _replace_worker(self, worker: int) -> None:
+        """Spawn a replacement for a dead worker (caller holds _reply_cond)."""
+        self._procs[worker].join(timeout=1.0)
+        self._worker_gen[worker] += 1
+        if self._closed:
+            return
+        inbox = self._ctx.Queue()
+        replacement = self._ctx.Process(
+            target=_worker_main, args=(inbox, self._outbox), daemon=True
         )
+        replacement.start()
+        self._inboxes[worker] = inbox
+        self._procs[worker] = replacement
+        self._worker_funcs[worker] = set()
 
     def _raise_failure(self, reply: tuple) -> None:
         tag = reply[0]
@@ -593,13 +919,17 @@ class WorkerPool:
         """Terminate the workers immediately.  Idempotent.
 
         Uses ``terminate`` rather than a graceful stop so that a mid-flight
-        abort (budget exceeded, driver error) does not wait for queued
+        abort (driver error, service teardown) does not wait for queued
         partitions to finish.  The partition store dies with the workers.
+        Any caller still waiting in ``_collect`` surfaces a
+        :class:`WorkerTaskError` on its next poll.
         """
         if not self._closed:
             self._closed = True
-            self._pins.clear()
-            self._derived.clear()
+            with self._store_lock:
+                self._pins.clear()
+                self._pin_sizes.clear()
+                self._derived.clear()
             for proc in self._procs:
                 proc.terminate()
             for proc in self._procs:
@@ -624,28 +954,34 @@ class WorkerPool:
 
 
 class ShipLog:
-    """Delta-reader over a pool's transport counters for one op's metrics.
+    """Delta-reader over the *calling context's* transport ledger.
 
     Stages bracket their pool calls with a ``ShipLog`` and attach
     ``take()`` to ``record_op`` — measured wall seconds, bytes shipped, and
-    payload count for exactly that stage.
+    payload count for exactly that stage.  The ledger is per-context
+    (see :class:`TransportCounters`), so two queries interleaving on one
+    shared pool each read only their own transport; single-threaded use is
+    unchanged.
     """
 
     def __init__(self, pool: WorkerPool):
         self.pool = pool
+        self._counters = _context_counters()
         self.reset()
 
     def reset(self) -> None:
-        self._wall = self.pool.wall_seconds_total
-        self._bytes = self.pool.bytes_shipped_total
-        self._ships = self.pool.ship_count_total
+        counters = self._counters
+        self._wall = counters.wall_seconds
+        self._bytes = counters.bytes_shipped
+        self._ships = counters.ship_count
 
     def take(self) -> dict[str, Any]:
         """Counter deltas since construction/last take, as record_op kwargs."""
+        counters = self._counters
         out = {
-            "wall_seconds": self.pool.wall_seconds_total - self._wall,
-            "bytes_shipped": self.pool.bytes_shipped_total - self._bytes,
-            "ship_count": self.pool.ship_count_total - self._ships,
+            "wall_seconds": counters.wall_seconds - self._wall,
+            "bytes_shipped": counters.bytes_shipped - self._bytes,
+            "ship_count": counters.ship_count - self._ships,
         }
         self.reset()
         return out

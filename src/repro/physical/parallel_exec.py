@@ -33,6 +33,7 @@ fall back to the row path above their supported subplans.
 
 from __future__ import annotations
 
+import itertools
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from ..algebra.operators import (
@@ -60,11 +61,16 @@ from .lower import _freeze, _is_collection
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from .lower import Executor
 
-#: Store name for all of one executor run's worker-resident intermediates
-#: (bound scans, filtered/keyed/exchanged/merged partitions).  Each stage
-#: gets its own version; the whole name is evicted when the run finishes so
-#: only pinned tables survive across runs.
+#: Store-name prefix for one executor run's worker-resident intermediates
+#: (bound scans, filtered/keyed/exchanged/merged partitions).  Each
+#: executor appends a process-unique suffix (see ``_EXEC_SEQ``) and each
+#: stage gets its own version; the executor's whole name is evicted when
+#: its run finishes so only pinned tables survive across runs.  The suffix
+#: matters under concurrency: evicting a *shared* temp name would discard
+#: another in-flight query's intermediates mid-stage.
 TEMP_STORE = "tmp:exec"
+
+_EXEC_SEQ = itertools.count(1)
 
 
 # ---------------------------------------------------------------------- #
@@ -387,6 +393,7 @@ class ParallelExecutor:
             if is_picklable(func)
         }
         self._scan_cache: dict[tuple[str, str], list[StoreRef]] = {}
+        self._temp_store = f"{TEMP_STORE}:{next(_EXEC_SEQ)}"
         self._source_ok: dict[str, bool] = {}
 
     # -- support check ------------------------------------------------- #
@@ -479,12 +486,12 @@ class ParallelExecutor:
 
     def _evict_temps(self) -> None:
         if self.cluster.has_pool:
-            self.cluster.pool.evict(TEMP_STORE)
+            self.cluster.pool.evict(self._temp_store)
         self._scan_cache.clear()
 
     def _temp(self) -> tuple[str, int]:
         """A fresh run-scoped store name for one stage's output."""
-        return (TEMP_STORE, self.cluster.pool.next_version())
+        return (self._temp_store, self.cluster.pool.next_version())
 
     def _execute(self, op: AlgebraOp, nest_cache: dict[str, "EnvPartitions"]) -> Any:
         if isinstance(op, Scan):

@@ -1,0 +1,25 @@
+"""Multi-tenant cleaning-as-a-service over one shared worker pool.
+
+The deployment shape the related work converges on (Mimir's on-demand
+cleaning interface, HoloClean's shared-infrastructure repair): many logical
+tenants submit FD / dedup / DC / SQL cleaning queries concurrently, and one
+long-lived :class:`~repro.engine.parallel.WorkerPool` serves them all.
+:class:`CleanService` is the asyncio front end; see ``service.py`` for the
+scheduling, namespace, budget, and store-eviction semantics.
+"""
+
+from .service import (
+    CleanService,
+    LoadReport,
+    QueryOutcome,
+    TenantSession,
+    percentile,
+)
+
+__all__ = [
+    "CleanService",
+    "LoadReport",
+    "QueryOutcome",
+    "TenantSession",
+    "percentile",
+]

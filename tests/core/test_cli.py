@@ -231,3 +231,121 @@ class TestDCCommand:
         )
         assert code == 1
         assert "--on" in capsys.readouterr().err
+
+    def test_dc_on_unknown_table_errors(self, lineitem_csv, capsys):
+        """--on naming an unregistered table must exit 1 with the CLI's
+        clean error contract, never a raw traceback."""
+        code = main(
+            [
+                "dc",
+                "--table", f"a={lineitem_csv}:csv:price:float,discount:float",
+                "--table", f"b={lineitem_csv}:csv:price:float,discount:float",
+                "--rule", "t1.price < t2.price and t1.discount > t2.discount",
+                "--on", "nope",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "error:" in err
+        assert "unknown table 'nope'" in err
+        assert "registered: a, b" in err
+        assert "Traceback" not in err
+
+    def test_dc_on_selects_among_multiple_tables(self, lineitem_csv, capsys):
+        code = main(
+            [
+                "dc",
+                "--table", f"a={lineitem_csv}:csv:price:float,discount:float",
+                "--table", f"b={lineitem_csv}:csv:price:float,discount:float",
+                "--rule", "t1.price < t2.price and t1.discount > t2.discount",
+                "--on", "b",
+            ]
+        )
+        assert code == 0
+        assert "violating pairs" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    @pytest.fixture
+    def customer_csv(self, tmp_path):
+        schema = Schema.of(name="str", address="str", nationkey="int")
+        rows = [
+            {"name": f"n{i % 3}", "address": f"a{i % 2}", "nationkey": i % 4}
+            for i in range(12)
+        ]
+        path = tmp_path / "customer.csv"
+        write_records(path, rows, "csv", schema)
+        return path
+
+    def _workload(self, tmp_path, payload):
+        import json
+
+        path = tmp_path / "workload.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return path
+
+    def test_serve_runs_multi_tenant_workload(self, tmp_path, customer_csv, capsys):
+        workload = self._workload(
+            tmp_path,
+            [
+                {"tenant": "acme", "op": "fd", "table": "c",
+                 "lhs": ["address"], "rhs": ["nationkey"]},
+                {"tenant": "zen", "op": "dedup", "table": "c",
+                 "attributes": ["name"], "theta": 0.5},
+            ],
+        )
+        code = main(
+            [
+                "serve",
+                "--table", f"acme/c={customer_csv}:csv:name:str,address:str,nationkey:int",
+                "--table", f"zen/c={customer_csv}:csv:name:str,address:str,nationkey:int",
+                "--workload", str(workload),
+                "--workers", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "acme/fd: ok" in out
+        assert "zen/dedup: ok" in out
+        assert "p99" in out and "q/s" in out
+
+    def test_serve_budget_exceeded_exits_nonzero(self, tmp_path, customer_csv, capsys):
+        workload = self._workload(
+            tmp_path,
+            {
+                "queries": [
+                    {"tenant": "poor", "op": "fd", "table": "c",
+                     "lhs": ["address"], "rhs": ["nationkey"]},
+                ],
+                "budgets": {"poor": 1e-9},
+            },
+        )
+        code = main(
+            [
+                "serve",
+                "--table", f"poor/c={customer_csv}:csv:name:str,address:str,nationkey:int",
+                "--workload", str(workload),
+                "--workers", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "poor/fd: budget_exceeded" in out
+
+    def test_serve_bad_workload_errors(self, tmp_path, customer_csv, capsys):
+        workload = self._workload(tmp_path, {"queries": "not-a-list"})
+        code = main(
+            [
+                "serve",
+                "--table", f"c={customer_csv}:csv:name:str,address:str,nationkey:int",
+                "--workload", str(workload),
+            ]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_missing_workload_file_errors(self, tmp_path, capsys):
+        code = main(["serve", "--workload", str(tmp_path / "missing.json")])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error: cannot read workload" in err

@@ -2,14 +2,17 @@
 
 The error-path tests are the load-bearing ones: a worker raising mid-task
 must surface the *original* exception on the driver (never a pickling
-error), and a budget blow-up must tear the whole pool down instead of
-leaking processes.
+error), and a budget blow-up must abort only the offending query — the
+pool and everything pinned on it stay resident for other callers, and the
+owning session's close() is what releases the processes.
 """
+
+import threading
 
 import pytest
 
 from repro.baselines import CleanDBSystem
-from repro.engine import Cluster, WorkerPool, WorkerTaskError
+from repro.engine import Cluster, ShipLog, WorkerPool, WorkerTaskError, begin_transport_scope
 from repro.errors import BudgetExceededError, ReproError
 
 
@@ -130,17 +133,109 @@ class TestClusterPoolLifecycle:
         cluster.shutdown()
         assert not cluster.has_pool
 
-    def test_budget_exceeded_shuts_pool_down(self):
+    def test_budget_exceeded_keeps_pool_resident(self):
+        """A budget blow-up is query-scoped: the error surfaces but the pool
+        (and everything pinned on it) survives for the next query — on a
+        shared serving pool a teardown would destroy every other tenant's
+        state.  Explicit shutdown still releases the processes."""
         cluster = Cluster(num_nodes=2, workers=2, budget=10.0)
         assert cluster.pool.run(_square, [(3,)]) == [9]
+        refs = cluster.pool.pin("table:t", 1, [[1, 2], [3]])
         with pytest.raises(BudgetExceededError):
             cluster.record_op("big", [100.0, 0.0])
+        assert cluster.has_pool
+        assert cluster.pool.pinned("table:t", 1) == refs
+        assert cluster.pool.run(_square, [(4,)]) == [16]
+        cluster.shutdown()
         assert not cluster.has_pool
 
     def test_cluster_context_manager(self):
         with Cluster(num_nodes=2, workers=2) as cluster:
             cluster.pool.run(_square, [(1,)])
         assert not cluster.has_pool
+
+
+class TestConcurrentCallers:
+    def test_threads_interleave_with_correct_results(self, pool):
+        """Two driver threads share one pool; every run returns its own
+        results in submission order despite interleaved dispatch."""
+        results = {}
+        errors = []
+
+        def drive(tag, base):
+            try:
+                out = [
+                    pool.run(_square, [(base + i,) for i in range(8)])
+                    for _ in range(5)
+                ]
+                results[tag] = out
+            except Exception as exc:  # pragma: no cover - diagnostic path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=drive, args=(tag, base))
+            for tag, base in (("a", 0), ("b", 100))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert results["a"] == [[i * i for i in range(8)]] * 5
+        assert results["b"] == [[(100 + i) ** 2 for i in range(8)]] * 5
+
+    def test_transport_scopes_are_per_caller(self, pool):
+        """Interleaved callers each read only their own transport: a
+        ShipLog window covers the caller's ships and replies, nothing from
+        the sibling thread hammering the same pool."""
+        pool.run(_square, [(1,), (2,)])  # register the function on every worker
+        barrier = threading.Barrier(2)
+        taken = {}
+
+        def drive(tag):
+            begin_transport_scope()
+            log = ShipLog(pool)
+            barrier.wait()
+            pool.run(_square, [(i,) for i in range(10)])
+            taken[tag] = log.take()
+
+        threads = [
+            threading.Thread(target=drive, args=(tag,)) for tag in ("a", "b")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # 10 handle-sized payloads out + 10 replies back, per caller —
+        # exactly what a solo run ships, with zero cross-attribution.
+        assert taken["a"]["ship_count"] == taken["b"]["ship_count"] == 20
+        assert taken["a"]["bytes_shipped"] > 0
+        assert taken["a"]["bytes_shipped"] == taken["b"]["bytes_shipped"]
+
+    def test_error_in_one_thread_leaves_other_unharmed(self, pool):
+        barrier = threading.Barrier(2)
+        outcome = {}
+
+        def good():
+            barrier.wait()
+            outcome["good"] = pool.run(_square, [(i,) for i in range(20)])
+
+        def bad():
+            barrier.wait()
+            try:
+                pool.run(_raise_value_error, [(i,) for i in range(20)])
+            except ValueError as exc:
+                outcome["bad"] = str(exc)
+
+        threads = [threading.Thread(target=good), threading.Thread(target=bad)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert outcome["good"] == [i * i for i in range(20)]
+        assert "boom on" in outcome["bad"]
+        # The pool is still healthy for the next caller.
+        assert pool.run(_square, [(6,)]) == [36]
 
 
 class TestSystemBudgetAbort:

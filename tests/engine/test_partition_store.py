@@ -92,6 +92,72 @@ def _sum_len(part):
     return len(part)
 
 
+def _add_const(c, x):
+    return c + x
+
+
+class TestPinPartialFailure:
+    def test_failed_pin_strands_nothing(self, pool):
+        """A mid-loop serialization failure must evict what already
+        shipped: no pin registry entry, no accounted bytes, and the worker
+        stores hold nothing under the name."""
+        parts = [[1, 2], [3, 4], [lambda: None]]  # tail does not pickle
+        with pytest.raises(Exception):
+            pool.pin("t", 1, parts)
+        assert pool.pinned("t", 1) is None
+        assert pool.pinned_nbytes("t") == 0
+        # A handle fabricated for the shipped prefix must fail to resolve —
+        # the partitions were rolled back worker-side, not just unlisted.
+        with pytest.raises(StaleHandleError):
+            pool.run(_double, [(StoreRef("t", 1, 0, 2),)])
+
+    def test_name_is_reusable_after_failed_pin(self, pool):
+        with pytest.raises(Exception):
+            pool.pin("t", 1, [[1], [lambda: None]])
+        refs = pool.pin("t", 1, [[5], [6]])
+        assert pool.run(_double, [(r,) for r in refs]) == [[10], [12]]
+
+    def test_failed_broadcast_strands_nothing(self, pool):
+        with pytest.raises(Exception):
+            pool.broadcast("idx", 1, {"cb": lambda: None})
+        assert pool.pinned("idx", 1) is None
+        assert pool.pinned_nbytes("idx") == 0
+
+
+class TestFunctionRegistryBound:
+    def test_registry_stays_bounded(self, pool):
+        """Re-created closures/partials must not accumulate forever: the
+        registry is keyed by the function's pickle and capped."""
+        from functools import partial
+
+        from repro.engine.parallel import FUNC_REGISTRY_LIMIT
+
+        for i in range(FUNC_REGISTRY_LIMIT + 20):
+            assert pool.run(partial(_add_const, i), [(1,)]) == [i + 1]
+        assert len(pool._func_ids) <= FUNC_REGISTRY_LIMIT
+
+    def test_recreated_equivalent_partial_shares_one_slot(self, pool):
+        from functools import partial
+
+        pool.run(partial(_add_const, 7), [(1,)])
+        before = len(pool._func_ids)
+        for _ in range(10):
+            assert pool.run(partial(_add_const, 7), [(3,)]) == [10]
+        assert len(pool._func_ids) == before
+
+    def test_evicted_function_reregisters_transparently(self, pool):
+        from functools import partial
+
+        from repro.engine.parallel import FUNC_REGISTRY_LIMIT
+
+        first = partial(_add_const, 0)
+        pool.run(first, [(1,)])
+        for i in range(1, FUNC_REGISTRY_LIMIT + 5):
+            pool.run(partial(_add_const, i), [(1,)])
+        # ``first`` fell off the LRU long ago; using it again just works.
+        assert pool.run(first, [(5,)]) == [5]
+
+
 class TestEvictionAndVersions:
     def test_stale_handle_raises_after_evict(self, pool):
         refs = pool.pin("t", 3, [[1], [2]])

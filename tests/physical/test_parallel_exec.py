@@ -156,11 +156,15 @@ class TestErrorPaths:
             ex.execute(plan)
         cluster.shutdown()
 
-    def test_budget_exceeded_aborts_pool(self):
+    def test_budget_exceeded_abort_is_query_scoped(self):
         cluster = Cluster(num_nodes=4, workers=2, budget=5.0)
         ex = Executor(cluster, {"t": ROWS}, config=PhysicalConfig(execution="parallel"))
         with pytest.raises(BudgetExceededError):
             ex.execute(Scan("t", "r"))
+        # The abort discards the failed query's work but never the pool:
+        # other queries (tenants) keep their resident state.
+        assert cluster.has_pool
+        cluster.shutdown()
         assert not cluster.has_pool
 
 
