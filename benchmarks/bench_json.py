@@ -21,6 +21,7 @@ BENCH_DC_PATH = Path(__file__).parent / "BENCH_dc.json"
 BENCH_FIG5_PATH = Path(__file__).parent / "BENCH_fig5.json"
 BENCH_INCREMENTAL_PATH = Path(__file__).parent / "BENCH_incremental.json"
 BENCH_SERVE_PATH = Path(__file__).parent / "BENCH_serve.json"
+BENCH_FAULTS_PATH = Path(__file__).parent / "BENCH_faults.json"
 SCHEMA_VERSION = 1
 
 
@@ -90,3 +91,10 @@ def emit_serve(section: str, payload: dict) -> dict:
     ``BENCH_serve.json`` (serial vs concurrent latency percentiles,
     throughput, and the consolidation speedup)."""
     return emit_bench(BENCH_SERVE_PATH, section, payload)
+
+
+def emit_faults(section: str, payload: dict) -> dict:
+    """Merge one fault-recovery result into ``BENCH_faults.json`` (warm
+    workload wall-clock with 0 vs 1 injected worker kill, the recovery
+    overhead ratio, retry count, and the oracle-parity verdict)."""
+    return emit_bench(BENCH_FAULTS_PATH, section, payload)

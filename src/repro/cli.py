@@ -360,7 +360,11 @@ def run_serve(args: Any) -> int:
         )
         if outcome.ok and isinstance(outcome.rows, list):
             line += f" -> {len(outcome.rows)} rows"
-        elif not outcome.ok:
+        if outcome.recovered:
+            line += f" [recovered, {outcome.retries} retries]"
+        if outcome.degraded:
+            line += " [degraded to row backend]"
+        if not outcome.ok:
             line += f" -- {outcome.error}"
         print(line)
         if args.metrics and outcome.ok:
@@ -370,7 +374,9 @@ def run_serve(args: Any) -> int:
         f"-- {len(report.outcomes)} queries in {summary['elapsed_seconds']:.3f}s: "
         f"{summary['throughput_qps']:.1f} q/s, "
         f"p50 {summary['p50_seconds'] * 1000:.1f} ms, "
-        f"p99 {summary['p99_seconds'] * 1000:.1f} ms --"
+        f"p99 {summary['p99_seconds'] * 1000:.1f} ms, "
+        f"{report.recovered_count} recovered / {report.degraded_count} degraded, "
+        f"{report.total_retries} retries --"
     )
     return 0 if report.all_ok else 1
 

@@ -301,6 +301,18 @@ class CleanDB:
             **log.take(),
         )
 
+    def _record_degraded(self, op: str, table: str, exc: Exception) -> None:
+        """Log one degradation to the row backend.
+
+        Reached only when the parallel backend could not heal — the retry
+        budget is spent (``RetriesExhausted``) or a rebuild left a handle
+        stale.  The ``degraded:`` op name is what the serving layer counts
+        to mark a query outcome as degraded-but-answered.
+        """
+        self.cluster.record_op(
+            f"degraded:{op}:{table}", [0.0] * self.cluster.num_nodes
+        )
+
     def _pinned_key(self, name: str) -> tuple[str, int] | None:
         """The (store name, version) of a table's pins, for handle-based
         dispatch — None outside the parallel backend."""
@@ -540,7 +552,19 @@ class CleanDB:
                 )
                 for p, ref in zip(parts, out):
                     new_refs[p] = ref
-            pool.adopt(pin_name, new_version, new_refs)
+            # The patched layout is round-robin over the post-delta rows
+            # (appends land at ``global_index % n``, updates in place), so
+            # the driver rows back the adopted version as plain re-pin
+            # lineage — a worker death after this delta rebuilds from the
+            # current rows instead of chasing the evicted old version.
+            from ..sources.columnar import round_robin_split
+
+            pool.adopt(
+                pin_name,
+                new_version,
+                new_refs,
+                partitions=round_robin_split(self._tables[name], n),
+            )
             pool.evict(pin_name, old_version)
         except Exception:
             # Worker death (store already invalidated) or any transport
@@ -660,10 +684,15 @@ class CleanDB:
                     batch_size=self.config.batch_size,
                 ).collect()
             if self.config.execution == "parallel":
-                return check_dc_parallel(
-                    self.cluster, records, constraint, fmt=fmt,
-                    pinned=self._pinned_key(table),
-                ).collect()
+                from ..engine.parallel import StaleHandleError, WorkerTaskError
+
+                try:
+                    return check_dc_parallel(
+                        self.cluster, records, constraint, fmt=fmt,
+                        pinned=self._pinned_key(table),
+                    ).collect()
+                except (WorkerTaskError, StaleHandleError) as exc:
+                    self._record_degraded("dc", table, exc)
         ds = self.cluster.parallelize(records, fmt=fmt, name=table)
         return check_dc(ds, constraint, strategy=chosen).collect()
 
@@ -701,10 +730,15 @@ class CleanDB:
                 keep_records=keep_records, batch_size=self.config.batch_size,
             ).collect()
         if self.config.execution == "parallel":
-            return check_fd_parallel(
-                self.cluster, records, list(lhs), list(rhs), fmt=fmt,
-                keep_records=keep_records, pinned=self._pinned_key(table),
-            ).collect()
+            from ..engine.parallel import StaleHandleError, WorkerTaskError
+
+            try:
+                return check_fd_parallel(
+                    self.cluster, records, list(lhs), list(rhs), fmt=fmt,
+                    keep_records=keep_records, pinned=self._pinned_key(table),
+                ).collect()
+            except (WorkerTaskError, StaleHandleError) as exc:
+                self._record_degraded("fd", table, exc)
         ds = self.cluster.parallelize(records, fmt=fmt, name=table)
         return check_fd(
             ds, list(lhs), list(rhs), grouping=self.config.grouping,
@@ -769,11 +803,16 @@ class CleanDB:
                 batch_size=self.config.batch_size, filters=filters,
             ).collect()
         if self.config.execution == "parallel":
-            return deduplicate_parallel(
-                self.cluster, records, list(attributes), metric=metric,
-                theta=theta, block_on=block_on, fmt=fmt, filters=filters,
-                pinned=self._pinned_key(table),
-            ).collect()
+            from ..engine.parallel import StaleHandleError, WorkerTaskError
+
+            try:
+                return deduplicate_parallel(
+                    self.cluster, records, list(attributes), metric=metric,
+                    theta=theta, block_on=block_on, fmt=fmt, filters=filters,
+                    pinned=self._pinned_key(table),
+                ).collect()
+            except (WorkerTaskError, StaleHandleError) as exc:
+                self._record_degraded("dedup", table, exc)
         ds = self.cluster.parallelize(records, fmt=fmt, name=table)
         return deduplicate(
             ds, list(attributes), metric=metric, theta=theta,

@@ -8,6 +8,7 @@ balancing) the paper's evaluation measures.
 
 from .cluster import Cluster
 from .dataset import Dataset
+from .faults import FaultPlan, FaultSpec
 from .metrics import CostModel, MetricsCollector, OpMetrics
 from .parallel import (
     DEFAULT_WORKERS,
@@ -35,6 +36,8 @@ __all__ = [
     "MetricsCollector",
     "OpMetrics",
     "DEFAULT_WORKERS",
+    "FaultPlan",
+    "FaultSpec",
     "ShipLog",
     "StaleHandleError",
     "StoreRef",

@@ -148,12 +148,14 @@ class Cluster:
         bytes_shipped: int = 0,
         ship_count: int = 0,
         rows_delta: int = 0,
+        retries: int = 0,
     ) -> OpMetrics:
         """Record one operation's metrics and charge its simulated time.
 
         ``wall_seconds`` / ``bytes_shipped`` / ``ship_count`` are the
         *measured* worker-pool time and transport volume for parallel
-        stages (``rows_delta`` the rows a delta patch carried); they ride
+        stages (``rows_delta`` the rows a delta patch carried, ``retries``
+        the task re-dispatches after a worker loss); they ride
         along in the metrics but never enter the simulated clock.  Raises
         :class:`BudgetExceededError` if the cumulative simulated time
         passes the budget.
@@ -167,6 +169,7 @@ class Cluster:
             bytes_shipped=bytes_shipped,
             ship_count=ship_count,
             rows_delta=rows_delta,
+            retries=retries,
         )
         self.metrics.record(op)
         self._check_budget(name)

@@ -136,6 +136,10 @@ class OpMetrics:
     # incremental counterpart of ``shuffled_records`` — only the delta
     # crosses the process boundary, never the table.
     rows_delta: int = 0
+    # Task re-dispatches this stage needed after losing a worker (death,
+    # hang, or corrupt reply).  0 on every healthy run; non-zero marks a
+    # stage that transparently recovered.
+    retries: int = 0
 
     @property
     def max_node_work(self) -> float:
@@ -226,6 +230,20 @@ class MetricsCollector:
         the mutation-path counterpart of :attr:`shuffled_records`."""
         return sum(op.rows_delta for op in self.ops)
 
+    @property
+    def retries(self) -> int:
+        """Task re-dispatches after worker loss, summed over all ops — the
+        serving layer flags any query window with ``retries > 0`` as
+        *recovered* (it healed transparently)."""
+        return sum(op.retries for op in self.ops)
+
+    @property
+    def degraded_ops(self) -> int:
+        """Stages that fell back from the parallel backend to the row path
+        after recovery failed (recorded under a ``degraded:`` name by the
+        facade) — the last rung of the degradation ladder."""
+        return sum(1 for op in self.ops if op.name.startswith("degraded:"))
+
     def phase_time(self, name_prefix: str) -> float:
         """Simulated time of all ops whose name starts with ``name_prefix``.
 
@@ -285,4 +303,6 @@ class MetricsCollector:
             "bytes_shipped": float(self.bytes_shipped),
             "ship_count": float(self.ship_count),
             "rows_delta": float(self.rows_delta),
+            "retries": float(self.retries),
+            "degraded_ops": float(self.degraded_ops),
         }

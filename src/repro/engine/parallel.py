@@ -24,10 +24,22 @@ Design constraints, in order:
   back in an *envelope* (not via queue exception pickling) and re-raised on
   the driver as the original exception where possible; an unpicklable
   exception degrades to :class:`WorkerTaskError` carrying the original type
-  name, message, and worker traceback — never a bare ``PicklingError``.  A
-  worker *process death* surfaces as :class:`WorkerTaskError` and
-  invalidates the partition store (the dead worker's partitions are gone;
-  pinned tables must re-pin).
+  name, message, and worker traceback — never a bare ``PicklingError``.
+* **Self-healing** — every pin, broadcast, and ``store_as`` stage records a
+  driver-side *lineage recipe* (source partitions for pins, the producing
+  task for stage outputs).  When a worker process dies — or hangs past the
+  pool's ``task_deadline``, detected by a shared-memory heartbeat — only
+  that worker is replaced and only *its* partitions are rebuilt from
+  lineage onto the replacement; other workers' pins and other callers'
+  state stay resident (``invalidate_store()`` is the last resort, taken
+  only when a rebuild itself fails).  Tasks lost to the dead worker are
+  re-dispatched under a bounded retry budget with linear backoff;
+  only after the budget is exhausted does the caller see a
+  :class:`WorkerTaskError` (``exc_type="RetriesExhausted"``).  Recovery is
+  deterministic enough to test: a :class:`~repro.engine.faults.FaultPlan`
+  injected at construction kills/delays/drops/corrupts specific tasks by
+  dispatch count, and the chaos suites assert byte-identical results
+  against fault-free oracles.
 * **Observable transport** — every payload that crosses the process
   boundary (task args, pinned partitions, broadcasts, result blobs) is
   pre-pickled by the sender, so the pool counts exactly how many bytes and
@@ -60,6 +72,8 @@ resolved to the stored object inside the worker before the function runs.
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.sharedctypes
+import os
 import pickle
 import queue as queue_mod
 import sys
@@ -72,6 +86,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
 from ..errors import ReproError
+from .faults import FaultPlan
 
 # Workers a pool gets when the caller enabled parallel execution without
 # choosing a count.  Deliberately small: the test/CI machines have few cores
@@ -79,8 +94,28 @@ from ..errors import ReproError
 DEFAULT_WORKERS = 2
 
 # How long the driver waits on the result queue before checking whether a
-# worker with outstanding tasks has died.
-_POLL_SECONDS = 0.2
+# worker with outstanding tasks has died.  Short enough that death detection
+# plus lineage recovery keeps a recovered warm query within the 2x-overhead
+# budget the fault benches assert.
+_POLL_SECONDS = 0.05
+
+# Default retry budget for tasks lost to a dead/hung worker, and the linear
+# backoff step between attempts.  One transient death needs one retry; the
+# budget of 2 tolerates a replacement dying too before the caller degrades.
+DEFAULT_TASK_RETRIES = 2
+DEFAULT_RETRY_BACKOFF = 0.05
+
+# Aborted-task ids kept so the reply router can drop their late replies.
+# Bounded: an id whose reply never arrives (its worker died) must not pin
+# driver memory forever on a long-lived serving pool.
+ABANDONED_LIMIT = 1024
+
+# Routed replies parked for a caller that has not yet drained them.  Far
+# above any realistic in-flight task count; the bound only exists so a
+# reply whose owner vanished can never accumulate without limit.
+REPLY_BUFFER_LIMIT = 4096
+
+_MISSING = object()  # sentinel: distinguish "absent" from a stored None
 
 # Most-recently-used derived results (per pool) kept worker-resident.  Each
 # entry can hold table-sized state (e.g. a DC check's extraction vectors
@@ -151,12 +186,13 @@ class TransportCounters:
     of a serving query thread.
     """
 
-    __slots__ = ("wall_seconds", "bytes_shipped", "ship_count")
+    __slots__ = ("wall_seconds", "bytes_shipped", "ship_count", "retries")
 
     def __init__(self) -> None:
         self.wall_seconds = 0.0
         self.bytes_shipped = 0
         self.ship_count = 0
+        self.retries = 0
 
 
 _TRANSPORT: ContextVar[TransportCounters | None] = ContextVar(
@@ -189,13 +225,14 @@ def begin_transport_scope() -> TransportCounters:
 class _CallRecord:
     """Transport tally for one public pool call (one token's worth)."""
 
-    __slots__ = ("bytes", "ships", "wall", "tasks")
+    __slots__ = ("bytes", "ships", "wall", "tasks", "retries")
 
     def __init__(self) -> None:
         self.bytes = 0
         self.ships = 0
         self.wall: float | None = None
         self.tasks = 0
+        self.retries = 0
 
 
 class _FairLock:
@@ -293,20 +330,45 @@ def _resolve_arg(store: dict, arg: Any) -> Any:
     return arg
 
 
-def _worker_main(inbox: Any, outbox: Any) -> None:
+def _worker_main(
+    inbox: Any,
+    outbox: Any,
+    worker_index: int = 0,
+    gen: int = 0,
+    fault_plan: FaultPlan | None = None,
+    heartbeat: Any = None,
+) -> None:
     """Worker-process loop: execute commands from this worker's own queue.
 
     The store maps ``(name, version, part)`` to the resident object; the
     function registry maps driver-assigned ids to unpickled callables (each
     function ships once per worker, not once per task).  No exception may
     escape a task — every failure travels back as an envelope.
+
+    ``heartbeat`` is a shared array the worker ticks before and after every
+    command; the driver's deadline watchdog reads it to tell "hung" from
+    "slowly working".  ``fault_plan`` (tests only) schedules deterministic
+    crashes/delays/drops/corruptions by this worker's task count — see
+    :mod:`repro.engine.faults`.
     """
     store: dict[tuple, Any] = {}
     funcs: dict[int, Callable] = {}
+    faults = fault_plan.for_worker(worker_index, gen) if fault_plan else {}
+    executed = 0
+
+    def beat() -> None:
+        if heartbeat is not None:
+            heartbeat[worker_index] += 1
+
     while True:
         cmd = inbox.get()
+        beat()
         kind = cmd[0]
         if kind == "task":
+            executed += 1
+            spec = faults.pop(executed, None)
+            if spec is not None and spec.kind == "kill_before":
+                os._exit(13)
             _, task_id, fid, args_blob, store_key, returning = cmd
             try:
                 args = pickle.loads(args_blob)
@@ -322,13 +384,24 @@ def _worker_main(inbox: Any, outbox: Any) -> None:
                     store[store_key] = result
                     count = len(result) if hasattr(result, "__len__") else -1
                     if returning:
-                        outbox.put((task_id, _STORED_RET, count, pickle.dumps(result)))
+                        reply = (task_id, _STORED_RET, count, pickle.dumps(result))
                     else:
-                        outbox.put((task_id, _STORED, count))
+                        reply = (task_id, _STORED, count)
                 else:
-                    outbox.put((task_id, _OK, pickle.dumps(result)))
+                    reply = (task_id, _OK, pickle.dumps(result))
             except Exception as exc:  # noqa: BLE001 - every task error must travel back
-                outbox.put((task_id, *_failure_envelope(exc)))
+                reply = (task_id, *_failure_envelope(exc))
+            if spec is not None:
+                if spec.kind == "kill_after":
+                    os._exit(13)
+                if spec.kind == "drop":
+                    beat()
+                    continue
+                if spec.kind == "delay":
+                    time.sleep(spec.seconds)
+                if spec.kind == "corrupt":
+                    reply = (task_id, _OK, b"\x00corrupt reply payload")
+            outbox.put(reply)
         elif kind == "pin":
             _, name, version, part, blob = cmd
             try:
@@ -372,6 +445,22 @@ class WorkerPool:
         (cheap, inherits loaded modules) and to the platform's own default
         elsewhere — macOS deliberately defaults to ``"spawn"`` because
         forked children crash inside Apple system frameworks.
+    fault_plan:
+        Optional :class:`~repro.engine.faults.FaultPlan` shipped to every
+        worker at spawn — the deterministic chaos-testing hook.  Production
+        pools leave it ``None``.
+    task_deadline:
+        Seconds without heartbeat progress before a worker with outstanding
+        tasks is declared *hung*, terminated, and replaced (its partitions
+        rebuilt from lineage, its tasks retried).  Must exceed the longest
+        legitimate task; ``None`` (the default) disables the watchdog so
+        only real process death triggers recovery.
+    max_task_retries:
+        How many times a task lost to a dead/hung worker is re-dispatched
+        before the call fails with ``exc_type="RetriesExhausted"``.
+    retry_backoff:
+        Linear backoff step between retry rounds (attempt *n* sleeps
+        ``retry_backoff * n`` seconds).
 
     Placement is deterministic: logical partition ``p`` (pinned or stored)
     lives on worker ``p % workers``, and a task for partition ``p`` runs on
@@ -384,34 +473,61 @@ class WorkerPool:
     call to the caller's context ledger.
     """
 
-    def __init__(self, workers: int, start_method: str | None = None):
+    def __init__(
+        self,
+        workers: int,
+        start_method: str | None = None,
+        fault_plan: FaultPlan | None = None,
+        task_deadline: float | None = None,
+        max_task_retries: int = DEFAULT_TASK_RETRIES,
+        retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+    ):
         if workers < 1:
             raise ValueError("workers must be positive")
         if start_method is None and sys.platform == "linux":
             start_method = "fork"
         self.workers = workers
+        self.fault_plan = fault_plan
+        self.task_deadline = task_deadline
+        self.max_task_retries = max_task_retries
+        self.retry_backoff = retry_backoff
         self._ctx = multiprocessing.get_context(start_method)
         self.start_method = self._ctx.get_start_method()
         self._outbox = self._ctx.Queue()
-        self._inboxes: list[Any] = []
-        self._procs: list[Any] = []
-        for _ in range(workers):
-            self._spawn_worker()
+        self._inboxes: list[Any] = [None] * workers
+        self._procs: list[Any] = [None] * workers
+        # Bumped when worker ``w`` is replaced; a caller whose tasks were
+        # queued against an older generation knows they are lost.
+        self._worker_gen: list[int] = [0] * workers
+        # Generation whose partition store has been rebuilt from lineage.
+        # Lagging behind ``_worker_gen`` means the replacement is still
+        # empty; the next dispatch touching it runs recovery first.
+        self._recovered_gen: list[int] = [0] * workers
+        # Liveness: each worker ticks its slot on every command; the driver
+        # keeps the last value seen and when it last changed, and declares a
+        # worker hung when a deadline passes with tasks outstanding and no
+        # progress.  RawArray works under both fork (inherited) and spawn
+        # (shipped through Process args).
+        self._heartbeat = multiprocessing.sharedctypes.RawArray("Q", workers)
+        self._hb_last: list[int] = [0] * workers
+        self._hb_ts: list[float] = [time.monotonic()] * workers
+        for w in range(workers):
+            self._spawn_worker(w)
         self._closed = False
         # Dispatch serialization (FIFO across caller threads) and the small
         # guards for shared driver-side state.  ``_reply_cond`` protects the
         # reply router; ``_store_lock`` the pin/derived registries;
-        # ``_stats_lock`` the pool-level counters.
+        # ``_stats_lock`` the pool-level counters.  Lock order, outermost
+        # first: ``_dispatch_lock`` -> ``_store_lock`` -> ``_reply_cond``.
         self._dispatch_lock = _FairLock()
         self._store_lock = threading.RLock()
         self._stats_lock = threading.Lock()
         self._reply_cond = threading.Condition()
-        self._reply_buffers: dict[int, tuple] = {}  # task_id -> reply tail
-        self._abandoned: set[int] = set()  # aborted tasks: drop late replies
+        # task_id -> reply tail, parked until its caller drains it.
+        self._reply_buffers: OrderedDict[int, tuple] = OrderedDict()
+        # Aborted/lost task ids whose late replies must be dropped.
+        self._abandoned: OrderedDict[int, None] = OrderedDict()
         self._pump_busy = False  # one thread at a time drains the outbox
-        # Bumped when worker ``w`` is replaced; a caller whose tasks were
-        # queued against an older generation knows they are lost.
-        self._worker_gen: list[int] = [0] * workers
         # Function registry: keyed by the *pickled form* of the callable so
         # re-created equivalent closures map to the same id; LRU-bounded at
         # FUNC_REGISTRY_LIMIT with monotonically increasing ids (an evicted
@@ -425,6 +541,10 @@ class WorkerPool:
         self._pins: dict[tuple[str, int], list[StoreRef]] = {}
         self._pin_sizes: dict[tuple[str, int], int] = {}
         self._derived: dict[tuple, dict] = {}
+        # Lineage: rebuild recipe per resident (name, version) in insertion
+        # order — pins before the stages consuming them — so replaying a
+        # prefix onto a replacement worker satisfies handle dependencies.
+        self._lineage: OrderedDict[tuple[str, int], dict] = OrderedDict()
         self._task_counter = 0
         self._version_counter = 0
         # Observability: real time spent waiting on worker results, tasks
@@ -438,15 +558,26 @@ class WorkerPool:
         self.ship_count_total = 0
         self.last_bytes_shipped = 0
         self.last_ship_count = 0
+        self.retries_total = 0
+        self.last_retries = 0
 
-    def _spawn_worker(self) -> None:
+    def _spawn_worker(self, worker: int) -> None:
         inbox = self._ctx.Queue()
         proc = self._ctx.Process(
-            target=_worker_main, args=(inbox, self._outbox), daemon=True
+            target=_worker_main,
+            args=(
+                inbox,
+                self._outbox,
+                worker,
+                self._worker_gen[worker],
+                self.fault_plan,
+                self._heartbeat,
+            ),
+            daemon=True,
         )
         proc.start()
-        self._inboxes.append(inbox)
-        self._procs.append(proc)
+        self._inboxes[worker] = inbox
+        self._procs[worker] = proc
 
     # ------------------------------------------------------------------ #
     @property
@@ -472,6 +603,8 @@ class WorkerPool:
             self.ship_count_total += call.ships
             self.last_bytes_shipped = call.bytes
             self.last_ship_count = call.ships
+            self.retries_total += call.retries
+            self.last_retries = call.retries
             if call.wall is not None:
                 self.wall_seconds_total += call.wall
                 self.last_wall_seconds = call.wall
@@ -479,6 +612,7 @@ class WorkerPool:
         counters = _context_counters()
         counters.bytes_shipped += call.bytes
         counters.ship_count += call.ships
+        counters.retries += call.retries
         if call.wall is not None:
             counters.wall_seconds += call.wall
 
@@ -526,10 +660,11 @@ class WorkerPool:
         call = _CallRecord()
         refs: list[StoreRef] = []
         nbytes = 0
+        parts_list = list(partitions)
         try:
             with self._dispatch_lock:
                 try:
-                    for p, part in enumerate(partitions):
+                    for p, part in enumerate(parts_list):
                         blob = pickle.dumps(part)
                         self._ship(
                             p % self.workers, ("pin", name, version, p, blob), len(blob), call
@@ -545,6 +680,13 @@ class WorkerPool:
             with self._store_lock:
                 self._pins[(name, version)] = refs
                 self._pin_sizes[(name, version)] = nbytes
+                # Lineage holds *references* to the caller's partition rows
+                # (which the facade keeps driver-side anyway), so a dead
+                # worker's share of this pin can be re-shipped on demand.
+                self._lineage[(name, version)] = {
+                    "kind": "parts",
+                    "partitions": parts_list,
+                }
         finally:
             self._finish_call(call)
         return refs
@@ -569,6 +711,7 @@ class WorkerPool:
             with self._store_lock:
                 self._pins[(name, version)] = [ref]
                 self._pin_sizes[(name, version)] = len(blob) * self.workers
+                self._lineage[(name, version)] = {"kind": "broadcast", "obj": obj}
         finally:
             self._finish_call(call)
         return ref
@@ -587,7 +730,13 @@ class WorkerPool:
                 return sum(self._pin_sizes.values())
             return sum(sz for (n, _v), sz in self._pin_sizes.items() if n == name)
 
-    def adopt(self, name: str, version: int, refs: Sequence[StoreRef]) -> None:
+    def adopt(
+        self,
+        name: str,
+        version: int,
+        refs: Sequence[StoreRef],
+        partitions: Sequence[Any] | None = None,
+    ) -> None:
         """Register task-produced resident partitions as a pin.
 
         ``run(store_as=...)`` leaves its output partitions in the worker
@@ -596,6 +745,14 @@ class WorkerPool:
         exactly as if it had been shipped with :meth:`pin` — this is how a
         delta patch promotes its result to the table's new version without
         the rows ever returning to the driver.
+
+        ``partitions`` (optional) supplies the driver-side rows backing the
+        adopted version so its lineage becomes a plain re-pin recipe.
+        Without it the version keeps whatever stage lineage ``run``
+        recorded — which references the *prior* version's handles, so it
+        only survives worker death while that prior version is resident.
+        Callers that hold the current rows anyway (the facade does) should
+        pass them.
         """
         with self._store_lock:
             # No bytes crossed the boundary for the adopted version itself;
@@ -605,6 +762,11 @@ class WorkerPool:
             self._pins[(name, version)] = list(refs)
             if prior:
                 self._pin_sizes[(name, version)] = max(prior)
+            if partitions is not None:
+                self._lineage[(name, version)] = {
+                    "kind": "parts",
+                    "partitions": list(partitions),
+                }
 
     def evict(self, name: str, version: int | None = None) -> None:
         """Drop a pinned/broadcast name (one version or all of them) from
@@ -614,6 +776,8 @@ class WorkerPool:
             for key in [k for k in self._pins if k[0] == name and (version is None or k[1] == version)]:
                 del self._pins[key]
                 self._pin_sizes.pop(key, None)
+            for key in [k for k in self._lineage if k[0] == name and (version is None or k[1] == version)]:
+                del self._lineage[key]
             for key, payload in list(self._derived.items()):
                 if key[1] == name and (version is None or key[2] == version):
                     for dep_name, dep_version in payload.get("store_names", ()):
@@ -650,13 +814,16 @@ class WorkerPool:
                     self.evict(dep_name, dep_version)
 
     def invalidate_store(self) -> None:
-        """Forget every pin, broadcast, and derived result — and clear the
-        surviving workers' stores.  Called on worker death: a table whose
-        partitions partly lived on the dead worker is no longer resident."""
+        """Forget every pin, broadcast, derived result, and lineage recipe
+        — and clear the surviving workers' stores.  The *last resort* of
+        the recovery path: taken only when rebuilding a dead worker's
+        partitions from lineage itself fails, never as the first response
+        to a death."""
         with self._store_lock:
             self._pins.clear()
             self._pin_sizes.clear()
             self._derived.clear()
+            self._lineage.clear()
         if self._closed:
             return
         for w in range(self.workers):
@@ -694,40 +861,109 @@ class WorkerPool:
         The first failing task's exception is re-raised on the driver — the
         original exception instance when it pickles, otherwise a
         :class:`WorkerTaskError` naming the original type.  Either way the
-        worker traceback is attached as ``exc.worker_traceback``.  A worker
-        process dying mid-batch raises :class:`WorkerTaskError` after the
-        dead worker is replaced and the partition store invalidated.
+        worker traceback is attached as ``exc.worker_traceback``.
+
+        A worker process dying (or hanging past ``task_deadline``) mid-batch
+        is *recovered from*, not surfaced: the worker is replaced, its
+        partitions rebuilt from lineage, and the lost tasks re-dispatched —
+        up to ``max_task_retries`` times with linear backoff.  A reply whose
+        payload fails to unpickle on the driver (transport corruption) is
+        retried the same way.  Only an exhausted retry budget raises
+        :class:`WorkerTaskError` (``exc_type="RetriesExhausted"``).
+        Deterministic task exceptions are never retried — re-running a bug
+        is waste, not resilience.
         """
         if self._closed:
             raise RuntimeError("worker pool is closed")
         call = _CallRecord()
         start = time.perf_counter()
-        pending: dict[int, tuple[int, int]] = {}  # task_id -> (index, worker)
-        task_gens: dict[int, int] = {}  # task_id -> worker generation at dispatch
-        task_parts: list[int] = []
         tasks = [tuple(args) for args in args_list]
+        fblob = pickle.dumps(func) if tasks else b""
+        task_parts = [
+            self._part_for(args, i, parts) for i, args in enumerate(tasks)
+        ]
+        results: list[Any] = [None] * len(tasks)
+        failure: tuple[int, tuple] | None = None
+        outstanding = list(range(len(tasks)))
+        attempt = 0
+        pending: dict[int, tuple[int, int]] = {}  # task_id -> (index, worker)
         replies: dict[int, tuple] = {}
         try:
-            with self._dispatch_lock:
-                fblob = pickle.dumps(func) if tasks else b""
-                for i, args in enumerate(tasks):
-                    part = self._part_for(args, i, parts)
-                    worker = part % self.workers
-                    fid = self._ensure_func(worker, fblob, call)
-                    blob = pickle.dumps(args)
-                    task_id = self._task_counter
-                    self._task_counter += 1
-                    store_key = (store_as[0], store_as[1], part) if store_as else None
-                    self._ship(
-                        worker,
-                        ("task", task_id, fid, blob, store_key, returning),
-                        len(blob),
-                        call,
-                    )
-                    pending[task_id] = (i, worker)
-                    task_gens[task_id] = self._worker_gen[worker]
-                    task_parts.append(part)
-            self._collect(pending, task_gens, replies, call)
+            while outstanding:
+                if attempt:
+                    call.retries += len(outstanding)
+                    time.sleep(self.retry_backoff * attempt)
+                pending.clear()
+                replies.clear()
+                task_gens: dict[int, int] = {}  # task_id -> gen at dispatch
+                with self._dispatch_lock:
+                    for i in outstanding:
+                        part = task_parts[i]
+                        worker = part % self.workers
+                        self._ensure_recovered(worker, call)
+                        fid = self._ensure_func(worker, fblob, call)
+                        blob = pickle.dumps(tasks[i])
+                        task_id = self._task_counter
+                        self._task_counter += 1
+                        store_key = (
+                            (store_as[0], store_as[1], part) if store_as else None
+                        )
+                        self._ship(
+                            worker,
+                            ("task", task_id, fid, blob, store_key, returning),
+                            len(blob),
+                            call,
+                        )
+                        pending[task_id] = (i, worker)
+                        task_gens[task_id] = self._worker_gen[worker]
+                        if store_as is not None and attempt == 0:
+                            self._record_stage(store_as, part, fblob, blob)
+                    call.tasks += len(outstanding)
+                # Fresh deadline window for the workers we just loaded, so
+                # a long pre-dispatch idle can't read as "already hung".
+                if self.task_deadline is not None:
+                    now = time.monotonic()
+                    with self._reply_cond:
+                        for worker in {w for _i, w in pending.values()}:
+                            self._hb_ts[worker] = max(self._hb_ts[worker], now)
+                lost = self._collect(pending, task_gens, replies, call)
+                retry_indices = [pending[task_id][0] for task_id in lost]
+                for task_id, reply in replies.items():
+                    index = pending[task_id][0]
+                    tag = reply[0]
+                    if tag == _OK:
+                        try:
+                            results[index] = pickle.loads(reply[1])
+                        except Exception:
+                            retry_indices.append(index)  # corrupt payload
+                    elif tag == _STORED:
+                        results[index] = StoreRef(
+                            store_as[0], store_as[1], task_parts[index], reply[1]
+                        )
+                    elif tag == _STORED_RET:
+                        try:
+                            value = pickle.loads(reply[2])
+                        except Exception:
+                            retry_indices.append(index)  # corrupt payload
+                            continue
+                        ref = StoreRef(
+                            store_as[0], store_as[1], task_parts[index], reply[1]
+                        )
+                        results[index] = (ref, value)
+                    elif failure is None or index < failure[0]:
+                        failure = (index, reply)
+                if failure is not None:
+                    break
+                outstanding = sorted(retry_indices)
+                if outstanding:
+                    attempt += 1
+                    if attempt > self.max_task_retries:
+                        raise WorkerTaskError(
+                            f"{len(outstanding)} task(s) still lost after "
+                            f"{self.max_task_retries} retries; degrade to the "
+                            f"row backend or re-pin",
+                            exc_type="RetriesExhausted",
+                        )
         except BaseException:
             # Abort path: any reply still in flight belongs to no one now.
             # Mark the unfinished tasks so the router drops their late
@@ -735,29 +971,11 @@ class WorkerPool:
             with self._reply_cond:
                 for task_id in pending:
                     if task_id not in replies:
-                        self._abandoned.add(task_id)
-                        self._reply_buffers.pop(task_id, None)
+                        self._abandon_locked(task_id)
             raise
         finally:
             call.wall = time.perf_counter() - start
-            call.tasks = len(tasks)
             self._finish_call(call)
-        results: list[Any] = [None] * len(tasks)
-        failure: tuple[int, tuple] | None = None
-        for task_id, reply in replies.items():
-            index = pending[task_id][0]
-            tag = reply[0]
-            if tag == _OK:
-                results[index] = pickle.loads(reply[1])
-            elif tag == _STORED:
-                results[index] = StoreRef(
-                    store_as[0], store_as[1], task_parts[index], reply[1]
-                )
-            elif tag == _STORED_RET:
-                ref = StoreRef(store_as[0], store_as[1], task_parts[index], reply[1])
-                results[index] = (ref, pickle.loads(reply[2]))
-            elif failure is None or index < failure[0]:
-                failure = (index, reply)
         if failure is not None:
             self._raise_failure(failure[1])
         return results
@@ -777,20 +995,27 @@ class WorkerPool:
         task_gens: dict[int, int],
         replies: dict[int, tuple],
         call: _CallRecord,
-    ) -> None:
-        """Gather one reply per pending task, watching for worker death.
+    ) -> set[int]:
+        """Gather replies for pending tasks; return the ids lost to death.
 
         Concurrent calls share one result queue: whichever caller currently
         holds the pump role drains it and routes foreign replies to their
         owners' buffers; everyone else waits on the router condition and
         picks its own replies out of the buffer.  Reply payload bytes are
         credited to the *owning* call when its thread drains them.
+
+        Tasks whose worker died, hung past the deadline, or was replaced by
+        another caller are returned as *lost* (their ids pre-abandoned so a
+        straggler reply is dropped) — the caller decides whether to retry.
         """
         waiting = set(pending)
+        lost: set[int] = set()
         while waiting:
             got = self._poll_replies(waiting)
             if not got:
-                self._check_lost_tasks(pending, task_gens, waiting)
+                newly_lost = self._check_lost_tasks(pending, task_gens, waiting)
+                lost |= newly_lost
+                waiting -= newly_lost
                 continue
             for task_id, tail in got:
                 replies[task_id] = tail
@@ -800,6 +1025,7 @@ class WorkerPool:
                     if isinstance(item, bytes):
                         call.bytes += len(item)
                 call.ships += 1
+        return lost
 
     def _poll_replies(self, waiting: set[int]) -> list[tuple[int, tuple]]:
         """One bounded wait for replies to ``waiting`` tasks.
@@ -838,10 +1064,11 @@ class WorkerPool:
             if task_id in waiting:
                 return [(task_id, tuple(reply[1:]))]
             with self._reply_cond:
-                if task_id in self._abandoned:
-                    self._abandoned.discard(task_id)  # late reply: drop it
-                else:
+                if self._abandoned.pop(task_id, _MISSING) is _MISSING:
                     self._reply_buffers[task_id] = tuple(reply[1:])
+                    while len(self._reply_buffers) > REPLY_BUFFER_LIMIT:
+                        self._reply_buffers.popitem(last=False)
+                # else: late reply for an aborted/lost task — drop it
             return []
         finally:
             with self._reply_cond:
@@ -853,53 +1080,153 @@ class WorkerPool:
         pending: dict[int, tuple[int, int]],
         task_gens: dict[int, int],
         waiting: set[int],
-    ) -> None:
+    ) -> set[int]:
         """After an empty poll: is this call still going to get replies?
 
-        Raises when the pool was shut down, when a worker holding our tasks
-        died (we replace it), or when another caller already replaced it —
-        our queued tasks went with the old process either way.
+        Raises only when the pool was shut down.  A worker holding our
+        tasks that died, hung past ``task_deadline`` (no heartbeat progress
+        while its tasks are outstanding), or was already replaced by
+        another caller is handled in place: the process is replaced and the
+        affected task ids returned as lost — abandoned so their straggler
+        replies are dropped — for the caller's retry loop to re-dispatch.
         """
         if self._closed:
             raise WorkerTaskError(
                 "worker pool shut down while tasks were outstanding",
                 exc_type="PoolClosed",
             )
-        dead: set[int] = set()
-        replaced: set[int] = set()
+        lost: set[int] = set()
         with self._reply_cond:
+            dead: set[int] = set()
+            active: set[int] = set()
             for task_id in waiting:
                 worker = pending[task_id][1]
                 if self._worker_gen[worker] != task_gens[task_id]:
-                    replaced.add(worker)
+                    lost.add(task_id)  # replaced under another caller
                 elif not self._procs[worker].is_alive():
                     dead.add(worker)
+                else:
+                    active.add(worker)
+            if self.task_deadline is not None:
+                now = time.monotonic()
+                for worker in active:
+                    beat = self._heartbeat[worker]
+                    if beat != self._hb_last[worker]:
+                        self._hb_last[worker] = beat
+                        self._hb_ts[worker] = now
+                    elif now - self._hb_ts[worker] > self.task_deadline:
+                        # Tasks outstanding, process alive, no progress for
+                        # a whole deadline: hung (or its replies are going
+                        # nowhere).  Same treatment as dead.
+                        self._procs[worker].terminate()
+                        dead.add(worker)
             for worker in dead:
                 self._replace_worker(worker)
-        if dead:
-            self.invalidate_store()
-        if dead or replaced:
-            lost = ", ".join(str(w) for w in sorted(dead | replaced))
-            raise WorkerTaskError(
-                f"worker process {lost} died mid-task; partition store "
-                f"invalidated (pinned tables must re-pin)",
-                exc_type="WorkerDied",
-            )
+            for task_id in waiting:
+                if pending[task_id][1] in dead:
+                    lost.add(task_id)
+            for task_id in lost:
+                self._abandon_locked(task_id)
+        return lost
+
+    def _abandon_locked(self, task_id: int) -> None:
+        """Mark one task's reply as to-be-dropped (caller holds _reply_cond).
+
+        The set is LRU-bounded: an abandoned task whose reply never arrives
+        (its worker died) ages out instead of living forever.
+        """
+        self._abandoned[task_id] = None
+        self._abandoned.move_to_end(task_id)
+        while len(self._abandoned) > ABANDONED_LIMIT:
+            self._abandoned.popitem(last=False)
+        self._reply_buffers.pop(task_id, None)
 
     def _replace_worker(self, worker: int) -> None:
-        """Spawn a replacement for a dead worker (caller holds _reply_cond)."""
+        """Spawn a replacement for a dead worker (caller holds _reply_cond).
+
+        The replacement starts with an *empty* store — ``_recovered_gen``
+        now lags ``_worker_gen``, and the next dispatch targeting this
+        worker replays lineage onto it first (:meth:`_ensure_recovered`).
+        """
         self._procs[worker].join(timeout=1.0)
         self._worker_gen[worker] += 1
         if self._closed:
             return
-        inbox = self._ctx.Queue()
-        replacement = self._ctx.Process(
-            target=_worker_main, args=(inbox, self._outbox), daemon=True
-        )
-        replacement.start()
-        self._inboxes[worker] = inbox
-        self._procs[worker] = replacement
+        self._spawn_worker(worker)
         self._worker_funcs[worker] = set()
+        self._hb_last[worker] = self._heartbeat[worker]
+        self._hb_ts[worker] = time.monotonic()
+
+    def _record_stage(
+        self, store_as: tuple[str, int], part: int, fblob: bytes, args_blob: bytes
+    ) -> None:
+        """Remember the producing task of one stored stage partition.
+
+        Re-running ``func(*args)`` on a replacement worker regenerates the
+        partition (tasks are deterministic; handle args resolve against the
+        lineage replayed before it).  Multiple ``run`` calls targeting one
+        ``store_as`` (delta patches) merge into one recipe.
+        """
+        with self._store_lock:
+            entry = self._lineage.get(store_as)
+            if entry is None:
+                entry = {"kind": "stage", "tasks": {}}
+                self._lineage[store_as] = entry
+            if entry["kind"] == "stage":
+                entry["tasks"][part] = (fblob, args_blob)
+
+    def _ensure_recovered(self, worker: int, call: _CallRecord) -> None:
+        """Replay lineage onto a freshly replaced worker (dispatch-locked).
+
+        Only the dead worker's share of each resident (name, version) is
+        rebuilt — pins and broadcasts re-ship from driver-held state, stage
+        partitions re-run their recorded producing task.  Rebuild commands
+        enqueue ahead of the caller's retried tasks on the same FIFO inbox,
+        which is the whole ordering argument: by the time a retried task
+        resolves a handle, the partition is resident again.  Stage-rebuild
+        replies are pre-abandoned (fire-and-forget); a rebuild that cannot
+        even be dispatched falls back to :meth:`invalidate_store`.
+        """
+        gen = self._worker_gen[worker]
+        if self._recovered_gen[worker] == gen:
+            return
+        self._recovered_gen[worker] = gen
+        try:
+            with self._store_lock:
+                for (name, version), recipe in list(self._lineage.items()):
+                    kind = recipe["kind"]
+                    if kind == "broadcast":
+                        blob = pickle.dumps(recipe["obj"])
+                        self._ship(
+                            worker, ("pin", name, version, -1, blob), len(blob), call
+                        )
+                    elif kind == "parts":
+                        partitions = recipe["partitions"]
+                        for p in range(worker, len(partitions), self.workers):
+                            blob = pickle.dumps(partitions[p])
+                            self._ship(
+                                worker, ("pin", name, version, p, blob), len(blob), call
+                            )
+                    else:  # stage
+                        for p, (fblob, args_blob) in recipe["tasks"].items():
+                            if p % self.workers != worker:
+                                continue
+                            fid = self._ensure_func(worker, fblob, call)
+                            task_id = self._task_counter
+                            self._task_counter += 1
+                            with self._reply_cond:
+                                self._abandon_locked(task_id)
+                            self._ship(
+                                worker,
+                                ("task", task_id, fid, args_blob, (name, version, p), False),
+                                len(args_blob),
+                                call,
+                            )
+        except Exception:
+            # Last resort: the rebuild itself failed (unpicklable source,
+            # broken queue).  Give up residency everywhere; callers fall
+            # back to cold pins or the row backend.
+            self.invalidate_store()
 
     def _raise_failure(self, reply: tuple) -> None:
         tag = reply[0]
@@ -923,6 +1250,11 @@ class WorkerPool:
         partitions to finish.  The partition store dies with the workers.
         Any caller still waiting in ``_collect`` surfaces a
         :class:`WorkerTaskError` on its next poll.
+
+        A worker that ignores SIGTERM for 2 seconds (wedged in a C
+        extension, masked signals) is escalated to SIGKILL and joined
+        again; the process handles are then released so repeated
+        create/shutdown cycles leak neither zombies nor fds.
         """
         if not self._closed:
             self._closed = True
@@ -930,13 +1262,23 @@ class WorkerPool:
                 self._pins.clear()
                 self._pin_sizes.clear()
                 self._derived.clear()
+                self._lineage.clear()
             for proc in self._procs:
                 proc.terminate()
             for proc in self._procs:
                 proc.join(timeout=2.0)
+            for proc in self._procs:
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join(timeout=2.0)
             for q in [*self._inboxes, self._outbox]:
                 q.close()
                 q.cancel_join_thread()
+            for proc in self._procs:
+                try:
+                    proc.close()
+                except ValueError:  # still running despite SIGKILL
+                    pass
 
     # ------------------------------------------------------------------ #
     def __enter__(self) -> "WorkerPool":
@@ -974,6 +1316,7 @@ class ShipLog:
         self._wall = counters.wall_seconds
         self._bytes = counters.bytes_shipped
         self._ships = counters.ship_count
+        self._retries = counters.retries
 
     def take(self) -> dict[str, Any]:
         """Counter deltas since construction/last take, as record_op kwargs."""
@@ -982,6 +1325,7 @@ class ShipLog:
             "wall_seconds": counters.wall_seconds - self._wall,
             "bytes_shipped": counters.bytes_shipped - self._bytes,
             "ship_count": counters.ship_count - self._ships,
+            "retries": counters.retries - self._retries,
         }
         self.reset()
         return out

@@ -119,9 +119,21 @@ class Executor:
             if vectorized.supports(op):
                 return vectorized.run(op)
         elif self.config.execution == "parallel":
+            from ..engine.parallel import StaleHandleError, WorkerTaskError
+
             parallel = self._parallel_executor()
             if parallel.supports(op):
-                return parallel.run(op)
+                try:
+                    return parallel.run(op)
+                except (WorkerTaskError, StaleHandleError):
+                    # Self-healing already retried inside the pool; landing
+                    # here means the budget is spent or a handle is gone
+                    # for good.  The row path answers from driver-held rows
+                    # — always correct, just not resident.
+                    self.cluster.record_op(
+                        f"degraded:exec:{type(op).__name__.lower()}",
+                        [0.0] * self.cluster.num_nodes,
+                    )
         return self._execute_row(op)
 
     def _vectorized_executor(self):

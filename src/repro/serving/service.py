@@ -85,6 +85,13 @@ class QueryOutcome:
     carries ``TypeName: message``).  ``rows`` is the operation's normal
     return value — violation/duplicate pairs for fd/dedup/dc, the branch
     dict for sql — and ``None`` off the ok path.
+
+    Two fault-tolerance flags ride on ok outcomes: ``recovered`` means the
+    query's stages re-dispatched tasks after losing a worker (``retries``
+    counts them) but still answered from the parallel backend;
+    ``degraded`` means at least one stage fell all the way back to the row
+    backend after the retry budget was spent.  Both answers are correct —
+    the flags report what the resilience machinery had to do to get them.
     """
 
     tenant: str
@@ -99,6 +106,21 @@ class QueryOutcome:
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+    @property
+    def retries(self) -> int:
+        """Task re-dispatches this query needed after worker loss."""
+        return int(self.metrics.get("retries", 0.0))
+
+    @property
+    def recovered(self) -> bool:
+        """The query healed through retry/rebuild and still answered."""
+        return self.retries > 0
+
+    @property
+    def degraded(self) -> bool:
+        """At least one stage fell back to the row backend."""
+        return self.metrics.get("degraded_ops", 0.0) > 0
 
 
 @dataclass
@@ -130,6 +152,21 @@ class LoadReport:
     def all_ok(self) -> bool:
         return all(o.ok for o in self.outcomes)
 
+    @property
+    def recovered_count(self) -> int:
+        """Queries that lost a worker mid-flight and healed transparently."""
+        return sum(1 for o in self.outcomes if o.recovered)
+
+    @property
+    def degraded_count(self) -> int:
+        """Queries that fell back to the row backend for at least one stage."""
+        return sum(1 for o in self.outcomes if o.degraded)
+
+    @property
+    def total_retries(self) -> int:
+        """Task re-dispatches across the whole workload."""
+        return sum(o.retries for o in self.outcomes)
+
     def summary(self) -> dict[str, float]:
         return {
             "queries": float(len(self.outcomes)),
@@ -138,6 +175,9 @@ class LoadReport:
             "throughput_qps": self.throughput_qps,
             "p50_seconds": self.p50_seconds,
             "p99_seconds": self.p99_seconds,
+            "recovered": float(self.recovered_count),
+            "degraded": float(self.degraded_count),
+            "retries": float(self.total_retries),
         }
 
 
@@ -191,6 +231,13 @@ class CleanService:
         ``budget=...`` for a uniform per-tenant budget, ``incremental=
         True``); per-tenant overrides win.  ``execution`` is always
         ``"parallel"`` — the serving layer exists to share the pool.
+    fault_plan:
+        Optional :class:`~repro.engine.faults.FaultPlan` for the shared
+        pool — chaos tests inject worker deaths/hangs here and assert the
+        service heals; production leaves it ``None``.
+    task_deadline:
+        Per-task heartbeat deadline for the shared pool's hung-worker
+        watchdog (seconds; ``None`` disables).
     """
 
     def __init__(
@@ -199,8 +246,14 @@ class CleanService:
         num_nodes: int = 10,
         store_bytes_cap: int | None = None,
         db_defaults: dict | None = None,
+        fault_plan: Any = None,
+        task_deadline: float | None = None,
     ):
-        self.pool = WorkerPool(workers or DEFAULT_WORKERS)
+        self.pool = WorkerPool(
+            workers or DEFAULT_WORKERS,
+            fault_plan=fault_plan,
+            task_deadline=task_deadline,
+        )
         self.num_nodes = num_nodes
         self.store_bytes_cap = store_bytes_cap
         self._db_defaults = dict(db_defaults or {})

@@ -1,0 +1,187 @@
+"""Fault injection and self-healing: every fault kind must be survivable.
+
+The contract under test is the tentpole of the self-healing pool: a worker
+lost mid-batch (killed, hung, dropping replies, or corrupting them) is
+replaced, its partitions are rebuilt from lineage, and the lost tasks are
+re-dispatched — the caller sees correct results, never ``WorkerDied``, and
+*other* partitions' pins stay resident throughout.  ``invalidate_store``
+must not fire on this happy recovery path; only an exhausted retry budget
+surfaces, as ``WorkerTaskError(exc_type="RetriesExhausted")``.
+
+Faults come from the deterministic :class:`FaultPlan` harness, so every
+test here replays the same failure schedule on every run.
+"""
+
+import pickle
+
+import pytest
+
+from repro.engine import FaultPlan, FaultSpec, WorkerPool, WorkerTaskError
+
+
+# --------------------------------------------------------------------- #
+# Module-level task functions (tasks must be importable in workers).
+# --------------------------------------------------------------------- #
+
+def _double(x):
+    return x * 2
+
+
+def _sum_part(part):
+    return sum(part)
+
+
+def _raise_value_error(x):
+    raise ValueError(f"boom on {x}")
+
+
+def _forbid_invalidate(pool):
+    """Turn ``invalidate_store`` into an assertion failure for this pool."""
+
+    def _fail():  # pragma: no cover - only runs when the contract breaks
+        raise AssertionError("invalidate_store() fired on the recovery path")
+
+    pool.invalidate_store = _fail
+
+
+class TestFaultPlan:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(worker=0, kind="explode", nth=1)
+
+    def test_nth_is_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            FaultSpec(worker=0, kind="drop", nth=0)
+
+    def test_negative_worker_and_delay_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(worker=-1, kind="drop", nth=1)
+        with pytest.raises(ValueError):
+            FaultSpec(worker=0, kind="delay", nth=1, seconds=-0.1)
+
+    def test_builders_are_immutable(self):
+        base = FaultPlan()
+        grown = base.kill_before(worker=0, nth=1).delay(worker=1, nth=2, seconds=1.0)
+        assert not base
+        assert len(grown.specs) == 2
+        assert grown.specs[0].kind == "kill_before"
+
+    def test_for_worker_filters_by_worker_and_gen(self):
+        plan = (
+            FaultPlan()
+            .kill_before(worker=0, nth=1)
+            .drop(worker=1, nth=3)
+            .corrupt(worker=0, nth=2, gen=1)
+        )
+        assert set(plan.for_worker(0, gen=0)) == {1}
+        assert set(plan.for_worker(0, gen=1)) == {2}
+        assert set(plan.for_worker(1, gen=0)) == {3}
+        assert plan.for_worker(2, gen=0) == {}
+
+    def test_first_spec_wins_on_duplicate_ordinal(self):
+        plan = FaultPlan().drop(worker=0, nth=1).corrupt(worker=0, nth=1)
+        assert plan.for_worker(0, gen=0)[1].kind == "drop"
+
+    def test_plan_pickles(self):
+        plan = FaultPlan().kill_after(worker=1, nth=4)
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+class TestKillRecovery:
+    def test_kill_before_is_transparent(self):
+        plan = FaultPlan().kill_before(worker=1, nth=1)
+        with WorkerPool(2, fault_plan=plan) as pool:
+            _forbid_invalidate(pool)
+            refs = pool.pin("t", 1, [[1, 2], [3, 4]])
+            assert pool.run(_double, [(i,) for i in range(6)]) == [
+                i * 2 for i in range(6)
+            ]
+            assert pool.retries_total >= 1
+            # Lineage rebuilt the dead worker's pins onto the replacement.
+            assert pool.pinned("t", 1) == refs
+            assert pool.fetch(refs) == [[1, 2], [3, 4]]
+
+    def test_kill_after_rebuilds_stored_stage(self):
+        # The worker dies after computing but before replying, taking its
+        # store_as partition with it; the stage lineage re-runs the task.
+        plan = FaultPlan().kill_after(worker=0, nth=1)
+        with WorkerPool(2, fault_plan=plan) as pool:
+            _forbid_invalidate(pool)
+            refs = pool.run(
+                _sum_part, [([1, 2],), ([3, 4],)], store_as=("stage", 7)
+            )
+            assert pool.fetch(refs) == [3, 7]
+
+    def test_only_dead_workers_partitions_rebuild(self):
+        plan = FaultPlan().kill_before(worker=1, nth=1)
+        with WorkerPool(2, fault_plan=plan) as pool:
+            refs = pool.pin("t", 1, [[10], [20], [30], [40]])
+            pool.run(_double, [(1,)], parts=[1])  # trips the fault on worker 1
+            # Worker 0's partitions (parts 0 and 2) were never reshipped:
+            # the same refs still resolve, and fetch round-trips everything.
+            assert pool.pinned("t", 1) == refs
+            assert pool.fetch(refs) == [[10], [20], [30], [40]]
+
+    def test_retries_exhausted_when_every_generation_dies(self):
+        plan = FaultPlan()
+        for gen in range(4):  # initial process + every retry's replacement
+            plan = plan.kill_before(worker=0, nth=1, gen=gen)
+        with WorkerPool(2, fault_plan=plan, retry_backoff=0.0) as pool:
+            with pytest.raises(WorkerTaskError, match="still lost") as info:
+                pool.run(_double, [(1,)], parts=[0])
+            assert info.value.exc_type == "RetriesExhausted"
+            # The pool survives its own retry exhaustion.
+            assert pool.run(_double, [(5,)], parts=[0]) == [10]
+
+
+class TestReplyFaultRecovery:
+    def test_corrupt_reply_is_retried(self):
+        plan = FaultPlan().corrupt(worker=0, nth=1)
+        with WorkerPool(2, fault_plan=plan) as pool:
+            _forbid_invalidate(pool)
+            assert pool.run(_double, [(3,)], parts=[0]) == [6]
+            assert pool.retries_total == 1
+
+    def test_dropped_reply_trips_watchdog(self):
+        plan = FaultPlan().drop(worker=1, nth=1)
+        with WorkerPool(2, fault_plan=plan, task_deadline=0.3) as pool:
+            _forbid_invalidate(pool)
+            refs = pool.pin("t", 1, [[1], [2]])
+            assert pool.run(_double, [(4,)], parts=[1]) == [8]
+            assert pool.retries_total >= 1
+            assert pool.fetch(refs) == [[1], [2]]
+
+    def test_hung_worker_is_replaced(self):
+        plan = FaultPlan().delay(worker=0, nth=1, seconds=30.0)
+        with WorkerPool(2, fault_plan=plan, task_deadline=0.3) as pool:
+            _forbid_invalidate(pool)
+            assert pool.run(_double, [(2,)], parts=[0]) == [4]
+            assert pool.retries_total >= 1
+
+    def test_deterministic_error_is_never_retried(self):
+        with WorkerPool(2) as pool:
+            with pytest.raises(ValueError, match="boom on 9"):
+                pool.run(_raise_value_error, [(9,)])
+            assert pool.retries_total == 0
+
+
+class TestLineageKinds:
+    def test_broadcast_survives_worker_death(self):
+        plan = FaultPlan().kill_before(worker=1, nth=1)
+        with WorkerPool(2, fault_plan=plan) as pool:
+            _forbid_invalidate(pool)
+            ref = pool.broadcast("side", 1, {"k": 99})
+            assert pool.run(_double, [(1,)], parts=[1]) == [2]
+            # The broadcast object is resident on the replacement too.
+            assert pool.fetch([ref]) == [{"k": 99}]
+
+    def test_eviction_removes_lineage(self):
+        # An evicted pin must not be resurrected by recovery.
+        plan = FaultPlan().kill_before(worker=1, nth=1)
+        with WorkerPool(2, fault_plan=plan) as pool:
+            pool.pin("gone", 1, [[1], [2]])
+            pool.evict("gone", 1)
+            keep = pool.pin("keep", 1, [[5], [6]])
+            pool.run(_double, [(1,)], parts=[1])
+            assert pool.pinned("gone", 1) is None
+            assert pool.fetch(keep) == [[5], [6]]

@@ -75,7 +75,7 @@ class TestMetricsCollector:
             "simulated_time", "measured_time", "shuffled_records",
             "total_work", "comparisons", "verified", "pruning_ratio",
             "num_ops", "batches", "bytes_shipped", "ship_count",
-            "rows_delta",
+            "rows_delta", "retries", "degraded_ops",
         }
 
     def test_measured_time_sums_wall_seconds(self):

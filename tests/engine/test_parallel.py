@@ -7,12 +7,14 @@ pool and everything pinned on it stay resident for other callers, and the
 owning session's close() is what releases the processes.
 """
 
+import os
 import threading
 
 import pytest
 
 from repro.baselines import CleanDBSystem
 from repro.engine import Cluster, ShipLog, WorkerPool, WorkerTaskError, begin_transport_scope
+from repro.engine.parallel import ABANDONED_LIMIT
 from repro.errors import BudgetExceededError, ReproError
 
 
@@ -153,6 +155,74 @@ class TestClusterPoolLifecycle:
         with Cluster(num_nodes=2, workers=2) as cluster:
             cluster.pool.run(_square, [(1,)])
         assert not cluster.has_pool
+
+
+class TestShutdownHygiene:
+    def test_shutdown_reaps_worker_processes(self):
+        """shutdown() must leave no zombies: every worker pid is joined
+        (reaped), so signalling it afterwards says "no such process"."""
+        pool = WorkerPool(2)
+        pool.run(_square, [(1,)])
+        pids = [proc.pid for proc in pool._procs]
+        pool.shutdown()
+        for pid in pids:
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
+
+    def test_repeated_cycles_leak_no_fds(self):
+        """Create/shutdown cycles must not accumulate queue pipe fds."""
+
+        def fd_count():
+            return len(os.listdir("/proc/self/fd"))
+
+        # One warm-up cycle absorbs import-time and allocator one-offs.
+        with WorkerPool(2) as p:
+            p.run(_square, [(1,)])
+        before = fd_count()
+        for _ in range(5):
+            with WorkerPool(2) as p:
+                p.run(_square, [(1,)])
+        assert fd_count() <= before + 4
+
+
+class TestAbortHygiene:
+    def test_mid_dispatch_abort_leaves_pool_clean(self, pool):
+        """An abort between dispatch and reply (Ctrl-C mid-batch) abandons
+        the in-flight tasks; their late replies are dropped by the router
+        and the next caller on the same pool gets only its own replies."""
+        pool.run(_square, [(1,), (2,)])  # register the function worker-side
+        real_ship = pool._ship
+        shipped = {"n": 0}
+
+        def flaky_ship(worker, command, nbytes, call):
+            shipped["n"] += 1
+            if shipped["n"] == 3:  # two tasks already in flight
+                raise KeyboardInterrupt
+            real_ship(worker, command, nbytes, call)
+
+        pool._ship = flaky_ship
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                pool.run(_square, [(i,) for i in range(8)])
+        finally:
+            pool._ship = real_ship
+        # The interrupted call's replies were routed to the abandoned set,
+        # not buffered: fresh runs see clean, correctly-attributed replies.
+        for _ in range(3):
+            assert pool.run(_square, [(i,) for i in range(8)]) == [
+                i * i for i in range(8)
+            ]
+        assert not pool._reply_buffers
+
+    def test_abandoned_set_is_bounded(self, pool):
+        """The abandoned-task set is an LRU with a hard cap — a long-lived
+        serving pool cannot grow it without bound however many queries
+        abort mid-flight."""
+        with pool._reply_cond:
+            for task_id in range(10 ** 6, 10 ** 6 + 3 * ABANDONED_LIMIT):
+                pool._abandon_locked(task_id)
+            assert len(pool._abandoned) == ABANDONED_LIMIT
+        assert pool.run(_square, [(3,)]) == [9]
 
 
 class TestConcurrentCallers:

@@ -3,15 +3,23 @@
 The load-bearing contracts: data pinned once is referenced by handle ever
 after (no row re-shipping), task functions register once per worker instead
 of riding in every payload, eviction and version bumps make stale handles
-*fail* rather than serve old rows, and a worker death invalidates the store
-instead of silently losing partitions.
+*fail* rather than serve old rows, and a worker death heals in place — the
+dead worker's partitions rebuild from lineage onto the replacement and
+lost tasks retry, with ``invalidate_store()`` reserved for rebuild failure.
 """
 
 import os
 
 import pytest
 
-from repro.engine import Cluster, StaleHandleError, StoreRef, WorkerPool, WorkerTaskError
+from repro.engine import (
+    Cluster,
+    FaultPlan,
+    StaleHandleError,
+    StoreRef,
+    WorkerPool,
+    WorkerTaskError,
+)
 from repro.engine.shuffle import exchange, exchange_resident
 
 
@@ -248,16 +256,17 @@ class TestResidentExchange:
 
 
 class TestWorkerDeath:
-    def test_death_raises_and_invalidates_store(self, pool):
+    def test_death_exhausts_retries_but_pins_survive(self, pool):
+        """A task that kills its worker on *every* attempt burns the whole
+        retry budget — but the store heals each time: pins stay registered
+        and fetchable because each replacement worker was rebuilt from
+        lineage before the failing retry reached it."""
         refs = pool.pin("t", 1, [[1], [2]])
-        with pytest.raises(WorkerTaskError, match="died mid-task") as info:
+        with pytest.raises(WorkerTaskError) as info:
             pool.run(_die, [(0,)])
-        assert info.value.exc_type == "WorkerDied"
-        # The whole store is invalidated: the surviving worker's partitions
-        # are incomplete as a table, so handles must not resolve.
-        assert pool.pinned("t", 1) is None
-        with pytest.raises(StaleHandleError):
-            pool.fetch(refs)
+        assert info.value.exc_type == "RetriesExhausted"
+        assert pool.pinned("t", 1) == refs
+        assert pool.fetch(refs) == [[1], [2]]
 
     def test_pool_recovers_with_replacement_worker(self, pool):
         with pytest.raises(WorkerTaskError):
@@ -265,3 +274,16 @@ class TestWorkerDeath:
         # Dead workers were replaced; a fresh pin + run works.
         refs = pool.pin("t", 2, [[5], [6]])
         assert pool.run(_double, [(r,) for r in refs]) == [[10], [12]]
+
+    def test_single_death_is_transparent(self):
+        """One crash mid-batch: the batch still returns the right answer,
+        the retry counter records the recovery, and pins survive because
+        the replacement was rebuilt from lineage — a gen-0-only fault plan
+        leaves the replacement healthy."""
+        with WorkerPool(2, fault_plan=FaultPlan().kill_before(worker=1, nth=1)) as pool:
+            refs = pool.pin("t", 1, [[1, 2], [3, 4]])
+            out = pool.run(_double, [(r,) for r in refs])
+            assert out == [[2, 4], [6, 8]]
+            assert pool.retries_total >= 1
+            assert pool.pinned("t", 1) == refs
+            assert pool.fetch(refs) == [[1, 2], [3, 4]]

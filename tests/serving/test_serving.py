@@ -212,6 +212,71 @@ class TestMetricsIsolation:
 
 
 # --------------------------------------------------------------------- #
+# Fault recovery on a shared multi-tenant pool
+# --------------------------------------------------------------------- #
+
+class TestFaultRecovery:
+    def test_worker_kill_mid_query_is_transparent_to_both_tenants(self):
+        """A worker killed mid-query on a 2-tenant service yields
+        byte-identical results after transparent recovery, the outcome is
+        flagged ``recovered`` with a positive retry count, and the *other*
+        tenant's pins remain resident — ``invalidate_store()`` (which would
+        cold-start every tenant) never fires on the happy recovery path."""
+        from repro.engine import FaultPlan
+
+        with _service() as oracle_svc:
+            oracle = oracle_svc.run_queries(_workload(), sequential=True)
+        plan = FaultPlan().kill_before(worker=1, nth=2)
+        svc = _service(fault_plan=plan)
+        try:
+            def fail():  # pragma: no cover - only runs on contract breach
+                raise AssertionError("invalidate_store() on the recovery path")
+
+            svc.pool.invalidate_store = fail
+            report = svc.run_queries(_workload(), sequential=True)
+            assert report.all_ok
+            for got, want in zip(report.outcomes, oracle.outcomes):
+                assert (got.tenant, got.op, got.status) == (
+                    want.tenant, want.op, want.status
+                )
+                assert repr(got.rows) == repr(want.rows)
+            # The kill surfaced as a recovered query, not a degraded one.
+            assert report.recovered_count >= 1
+            assert report.degraded_count == 0
+            assert report.total_retries >= 1
+            assert svc.pool.retries_total >= 1
+            # Both tenants' pins are still resident on the healed pool.
+            for tenant in ("acme", "zen"):
+                key = svc.session(tenant).db._pinned_key("t")
+                assert svc.pool.pinned(*key) is not None
+        finally:
+            svc.close()
+
+    def test_exhausted_retries_degrade_to_row_backend(self):
+        """When every generation of a worker dies, the query must still
+        answer — degraded to the row backend and flagged as such — and the
+        service keeps serving afterwards."""
+        from repro.engine import FaultPlan
+
+        plan = FaultPlan()
+        for gen in range(5):
+            plan = plan.kill_before(worker=0, nth=1, gen=gen)
+            plan = plan.kill_before(worker=1, nth=1, gen=gen)
+        svc = _service(fault_plan=plan)
+        try:
+            fd = {"tenant": "acme", "op": "fd", "table": "t",
+                  "lhs": ["name"], "rhs": ["city"]}
+            outcome = svc.run_queries([fd]).outcomes[0]
+            assert outcome.status == "ok"
+            assert outcome.degraded
+            with _service() as oracle_svc:
+                want = oracle_svc.run_queries([dict(fd)]).outcomes[0]
+            assert repr(outcome.rows) == repr(want.rows)
+        finally:
+            svc.close()
+
+
+# --------------------------------------------------------------------- #
 # The store-memory governor
 # --------------------------------------------------------------------- #
 
