@@ -27,7 +27,7 @@ from typing import Any, Callable, Sequence
 
 from ..engine.cluster import Cluster
 from ..engine.dataset import Dataset
-from ..engine.parallel import ShipLog, is_picklable
+from ..engine.parallel import ShipLog, is_picklable, rows_statically_shippable
 from ..engine.partitioner import stable_hash
 from ..engine.shuffle import exchange_resident
 from ..sources.columnar import batch_partitions, round_robin_split
@@ -330,11 +330,13 @@ def deduplicate_parallel(
     if not attributes:
         raise ValueError("deduplicate needs at least one comparison attribute")
     records = records if isinstance(records, list) else list(records)
-    # Full-list check, not a sample: a late unpicklable record must take the
-    # documented fallback, never surface as a raw pickling error.  A warm
-    # pin skips the O(table) probe — picklability was proven at pin time.
+    # A warm pin proves shippability outright; a cold table is judged by
+    # the static type-walk over a sampled prefix.  An exotic row outside
+    # the sample still takes the documented fallback: the pin fails with a
+    # degradable error and the facade routes to the serial path.
     shippable = is_picklable(block_on) and (
-        pin_is_warm(cluster, records, pinned) or is_picklable(records)
+        pin_is_warm(cluster, records, pinned)
+        or rows_statically_shippable(records)
     )
     if not shippable:
         ds = cluster.parallelize(records, fmt=fmt, name="input")

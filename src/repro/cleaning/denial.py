@@ -31,7 +31,7 @@ from typing import Any, Callable, Sequence
 
 from ..engine.cluster import Cluster
 from ..engine.dataset import Dataset
-from ..engine.parallel import ShipLog, is_picklable
+from ..engine.parallel import ShipLog, is_picklable, rows_statically_shippable
 from ..engine.partitioner import stable_hash
 from ..engine.shuffle import exchange_resident
 from ..physical.theta_join import self_theta_join
@@ -330,12 +330,13 @@ def check_fd_parallel(
 
     records = records if isinstance(records, list) else list(records)
     lhs, rhs = list(lhs), list(rhs)
-    # The whole record list is checked (not a sample): the pool would pickle
-    # every partition anyway, and a late unpicklable record must take the
-    # documented fallback, never surface as a raw pickling error.  A warm
-    # pin skips the O(table) probe — picklability was proven at pin time.
+    # A warm pin proves shippability; a cold table is judged by the static
+    # type-walk over a sampled prefix.  An exotic row outside the sample
+    # still takes the documented fallback — the pin fails with a
+    # degradable error and the facade routes to the serial path.
     shippable = is_picklable((tuple(lhs), tuple(rhs))) and (
-        pin_is_warm(cluster, records, pinned) or is_picklable(records)
+        pin_is_warm(cluster, records, pinned)
+        or rows_statically_shippable(records)
     )
     if not shippable:
         ds = cluster.parallelize(records, fmt=fmt, name="lineitem")
@@ -627,9 +628,10 @@ def check_dc_parallel(
     from ..physical.parallel_exec import pin_is_warm, resident_input
 
     records = records if isinstance(records, list) else list(records)
-    # Warm pins skip the O(table) picklability probe (proven at pin time).
+    # Warm pins prove shippability; cold tables get the static type-walk.
     shippable = is_picklable(constraint) and (
-        pin_is_warm(cluster, records, pinned) or is_picklable(records)
+        pin_is_warm(cluster, records, pinned)
+        or rows_statically_shippable(records)
     )
     if not shippable:
         ds = cluster.parallelize(records, fmt=fmt, name="lineitem")

@@ -28,7 +28,13 @@ import sys
 from typing import Any, Sequence
 
 from .core.language import CleanDB
-from .errors import ReproError
+from .core.semantics import (
+    DiagnosticsError,
+    errors_in,
+    parse_error_diagnostic,
+    render_diagnostics,
+)
+from .errors import ParseError, ReproError
 from .evaluation.reporting import format_table
 from .sources import FORMATS, Catalog, Field, Schema
 
@@ -82,6 +88,17 @@ def _print_branch(name: str, rows: list[Any]) -> None:
 def _short(value: Any) -> str:
     text = repr(value) if not isinstance(value, str) else value
     return text if len(text) <= 60 else text[:57] + "..."
+
+
+def _print_error(exc: Exception, sources: dict[str, str]) -> None:
+    """The CLI's error contract: an ``error: ...`` summary line, then — for
+    analyzable failures — the caret-annotated diagnostics underneath."""
+    print(f"error: {exc}", file=sys.stderr)
+    if isinstance(exc, DiagnosticsError):
+        print(render_diagnostics(exc.diagnostics, sources), file=sys.stderr)
+    elif isinstance(exc, ParseError):
+        diag = parse_error_diagnostic(exc, source=sources.get("query", ""))
+        print(render_diagnostics([diag], sources), file=sys.stderr)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -245,8 +262,102 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--metrics", action="store_true",
                        help="print per-query metrics")
 
+    check = sub.add_parser(
+        "check",
+        help=(
+            "statically analyze a CleanM query and/or DC rule without "
+            "executing anything; exit 1 on any error diagnostic"
+        ),
+    )
+    check.add_argument(
+        "--table",
+        action="append",
+        default=[],
+        metavar="NAME=PATH:FORMAT[:SCHEMA]",
+        help="register a data source (repeatable)",
+    )
+    check.add_argument(
+        "--rule",
+        default=None,
+        metavar="'t1.a OP t2.b and ...'",
+        help="also analyze this denial-constraint rule",
+    )
+    check.add_argument(
+        "--where",
+        default="",
+        metavar="'t1.a OP CONST and ...'",
+        help="the rule's single-tuple filters",
+    )
+    check.add_argument(
+        "--on",
+        default=None,
+        metavar="NAME",
+        help="table the rule targets (defaults to the only registered table)",
+    )
+    check.add_argument(
+        "--execution",
+        choices=("row", "vectorized", "parallel"),
+        default="row",
+        help=(
+            "backend to analyze for (parallel additionally checks task-"
+            "closure shippability); nothing executes either way"
+        ),
+    )
+    check.add_argument(
+        "sql",
+        nargs="?",
+        default=None,
+        help="the CleanM query text (or @file to read one)",
+    )
+
     sub.add_parser("formats", help="list supported storage formats")
     return parser
+
+
+def run_check(args: Any) -> int:
+    """The ``check`` subcommand: static analysis only, no execution.
+
+    Prints every diagnostic with its caret-annotated source span; exit 1
+    iff any is an error.  The CleanDB stays on the row backend (no worker
+    pool spawns) — ``--execution`` only parameterizes the analysis.
+    """
+    from dataclasses import replace
+
+    if args.sql is None and args.rule is None:
+        print("error: pass a query, --rule, or both", file=sys.stderr)
+        return 1
+    sql = args.sql
+    if sql is not None and sql.startswith("@"):
+        with open(sql[1:], "r", encoding="utf-8") as handle:
+            sql = handle.read()
+
+    db = CleanDB()
+    try:
+        load_tables(args.table, db)
+        if args.on is not None and args.on not in db._tables:
+            known = ", ".join(sorted(db._tables)) or "(none)"
+            raise ValueError(
+                f"--on names unknown table {args.on!r}; registered: {known}"
+            )
+        # Analyze for the requested backend without ever creating it: the
+        # config flip happens after registration, so no table pins and no
+        # worker pool — check must stay side-effect free.
+        db.config = replace(db.config, execution=args.execution)
+        diags = db.check(sql, rule=args.rule, where=args.where, on=args.on)
+    except (ReproError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        db.close()
+
+    sources = {"query": sql or "", "rule": args.rule or "", "where": args.where}
+    if not diags:
+        print("ok: no diagnostics")
+        return 0
+    print(render_diagnostics(diags, sources))
+    errors = errors_in(diags)
+    print(f"-- {len(diags)} diagnostic(s), {len(errors)} error(s) --")
+    return 1 if errors else 0
 
 
 def run_dc(args: Any) -> int:
@@ -281,6 +392,19 @@ def run_dc(args: Any) -> int:
             raise ValueError(
                 "pass --on NAME when registering more than one table"
             )
+        # Static analysis first: a malformed or unsatisfiable rule exits
+        # with caret-annotated diagnostics instead of a parser traceback.
+        findings = errors_in(db.check(rule=args.rule, where=args.where, on=table))
+        if findings:
+            first = findings[0]
+            print(f"error: {first.message}", file=sys.stderr)
+            print(
+                render_diagnostics(
+                    findings, {"rule": args.rule, "where": args.where}
+                ),
+                file=sys.stderr,
+            )
+            return 1
         constraint = parse_dc(args.rule, where=args.where)
         violations = db.check_dc(table, constraint)
         print(f"-- {len(violations)} violating pairs ({args.dc_strategy}) --")
@@ -390,6 +514,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return run_dc(args)
     if args.command == "serve":
         return run_serve(args)
+    if args.command == "check":
+        return run_check(args)
 
     sql = args.sql
     if sql.startswith("@"):
@@ -413,7 +539,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 0
         result = db.execute(sql)
     except (ReproError, ValueError, OSError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        _print_error(exc, {"query": sql})
         return 1
     finally:
         db.close()

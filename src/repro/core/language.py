@@ -25,10 +25,22 @@ from ..engine.metrics import CostModel
 from ..errors import PlanningError, SchemaError
 from ..monoid.comprehension import Comprehension
 from ..monoid.normalize import NormalizationTrace, normalize
+from ..errors import ParseError
 from ..physical.lower import EXECUTION_BACKENDS, Executor, PhysicalConfig
 from .ast_nodes import Query
 from .parser import parse
 from .rewriter import Branch, rewrite_query
+from .semantics import (
+    Diagnostic,
+    DiagnosticsError,
+    TableInfo,
+    analyze_dc,
+    analyze_query,
+    errors_in,
+    infer_table,
+    parse_error_diagnostic,
+)
+from .verify import verify_handles, verify_plan
 
 
 @dataclass
@@ -200,6 +212,10 @@ class CleanDB:
         self.seed = seed
         self._tables: dict[str, list[Any]] = {}
         self._formats: dict[str, str] = {}
+        # Inferred schemas for the static analyzer, keyed on the table
+        # version so any mutation path (re-register, refresh, deltas)
+        # naturally invalidates them.
+        self._schema_infos: dict[str, tuple[int, TableInfo]] = {}
         # Monotonic per-table versions: the identity of a table's pinned
         # partitions in the worker store.  Re-registration and repair bump
         # the version and evict the old pins, so a stale handle can never
@@ -642,6 +658,19 @@ class CleanDB:
     # ------------------------------------------------------------------ #
     # Denial constraints (programmatic surface; SQL self-joins also work)
     # ------------------------------------------------------------------ #
+    def _analyzed_dc(self, table: str, rule: str):
+        """Statically validate a textual DC rule against the target table's
+        inferred schema (clause shape, attribute existence, type
+        compatibility, satisfiability — CM3xx), then parse it.  Raises
+        :class:`~repro.core.semantics.DiagnosticsError` on any finding."""
+        from ..cleaning.dc_kernel import parse_dc
+
+        info = self._table_info(table) if table in self._tables else None
+        errors = errors_in(analyze_dc(rule, info=info))
+        if errors:
+            raise DiagnosticsError(errors, source=rule)
+        return parse_dc(rule)
+
     def check_dc(
         self, table: str, constraint: Any, strategy: str | None = None
     ) -> list[tuple[dict, dict]]:
@@ -655,7 +684,6 @@ class CleanDB:
         under ``execution="parallel"`` — with an identical violation set
         either way.
         """
-        from ..cleaning.dc_kernel import parse_dc
         from ..cleaning.denial import (
             check_dc,
             check_dc_columnar,
@@ -663,7 +691,7 @@ class CleanDB:
         )
 
         if isinstance(constraint, str):
-            constraint = parse_dc(constraint)
+            constraint = self._analyzed_dc(table, constraint)
         chosen = strategy or self.dc_strategy
         records = self.table(table)
         fmt = self._formats.get(table, "memory")
@@ -836,11 +864,10 @@ class CleanDB:
         Pass ``violations`` from an earlier :meth:`check_dc` call on the
         same table to skip re-detecting.
         """
-        from ..cleaning.dc_kernel import parse_dc
         from ..cleaning.repair import repair_dc_by_relaxation
 
         if isinstance(constraint, str):
-            constraint = parse_dc(constraint)
+            constraint = self._analyzed_dc(table, constraint)
         # One detection pass through the configured backend (so metrics
         # reflect the real plan); its pairs seed the repair engine's first
         # round directly when the backend returned the table's own record
@@ -860,13 +887,92 @@ class CleanDB:
     # ------------------------------------------------------------------ #
     # Compilation
     # ------------------------------------------------------------------ #
+    def _table_info(self, name: str) -> TableInfo:
+        """Inferred schema of a registered table, cached per version."""
+        version = self._table_versions.get(name, 0)
+        cached = self._schema_infos.get(name)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        info = infer_table(self._tables.get(name, []))
+        self._schema_infos[name] = (version, info)
+        return info
+
+    def _analyze(self, query: Query | str, source: str) -> list[Diagnostic]:
+        """The CM1xx–CM5xx semantic pass over one parsed query."""
+        if isinstance(query, str):
+            source = query
+            query = parse(query)
+        names = {t.name for t in query.tables}
+        return analyze_query(
+            query,
+            self._tables,
+            execution=self.config.execution,
+            infos={n: self._table_info(n) for n in names if n in self._tables},
+            source=source,
+        )
+
+    def check(
+        self,
+        sql: str | None = None,
+        *,
+        rule: str | None = None,
+        where: str = "",
+        on: str | None = None,
+    ) -> list[Diagnostic]:
+        """Statically analyze a query and/or a DC rule; never raises.
+
+        The ``repro check`` entry point: returns every diagnostic —
+        including parse failures, reported as CM001 — instead of raising,
+        so callers can render all findings.  ``on`` names the table a DC
+        rule targets (defaults to the only registered table, when there is
+        exactly one).
+        """
+        diags: list[Diagnostic] = []
+        if sql is not None:
+            try:
+                query = parse(sql)
+            except ParseError as exc:
+                diags.append(parse_error_diagnostic(exc, source=sql))
+            else:
+                diags.extend(self._analyze(query, sql))
+                if not errors_in(diags):
+                    try:
+                        self._lower(query, rewrite_query(query))
+                    except DiagnosticsError as exc:
+                        diags.extend(exc.diagnostics)
+                    except Exception:
+                        pass  # non-static planning failure; execute() reports it
+        if rule is not None:
+            info = None
+            names = list(self._tables)
+            target = on if on is not None else (names[0] if len(names) == 1 else None)
+            if target is not None and target in self._tables:
+                info = self._table_info(target)
+            diags.extend(analyze_dc(rule, where, info))
+        return diags
+
     def compile(self, sql: str) -> _Plan:
-        """Run the front half of Fig. 2: parse, de-sugar, normalize, lower."""
+        """Run the front half of Fig. 2: parse, analyze, de-sugar,
+        normalize, lower, verify.
+
+        Semantic errors (unknown tables/columns, ill-typed predicates,
+        illegal monoids, unshippable closures) raise
+        :class:`~repro.core.semantics.DiagnosticsError` — a
+        :class:`SchemaError` carrying the structured diagnostics — before
+        any rewrite runs; plan-invariant violations raise it after
+        lowering.  Parse errors propagate unchanged.
+        """
         query = parse(sql)
-        for t in query.tables:
-            if t.name not in self._tables:
-                raise SchemaError(f"query references unknown table {t.name!r}")
-        branches = rewrite_query(query)
+        errors = errors_in(self._analyze(query, sql))
+        if errors:
+            raise DiagnosticsError(errors, source=sql)
+        return self._lower(query, rewrite_query(query), source=sql)
+
+    def _lower(
+        self, query: Query, branches: list[Branch], source: str = ""
+    ) -> _Plan:
+        """Normalize and translate de-sugared branches, then verify the
+        optimized plan's structural invariants (CM6xx)."""
 
         translator = Translator(set(self._tables), self._formats)
         plans: list[AlgebraOp] = []
@@ -883,6 +989,9 @@ class CleanDB:
             plans.append(translator.translate(normalized))
             names.append(branch.name)
         dag, report = optimize_branches(plans, names, coalesce=self.coalesce)
+        invariants = verify_plan(dag, self._tables, names)
+        if invariants:
+            raise DiagnosticsError(invariants, source=source)
         return _Plan(query=query, branches=branches, dag=dag, report=report, traces=traces)
 
     def explain(self, sql: str) -> str:
@@ -925,6 +1034,13 @@ class CleanDB:
         """
         plan = self.compile(sql)
         functions = self._query_functions(plan)
+        if self.config.execution == "parallel" and self.cluster.has_pool:
+            # Handle/version skew between driver and worker store is a
+            # driver bug; fail with the CM502 diagnostic naming the skew
+            # before dispatch rather than a StaleHandleError mid-flight.
+            stale = verify_handles(self.cluster.pool, self._pinned_map())
+            if stale:
+                raise DiagnosticsError(stale, source=sql)
         if self.use_codegen:
             from ..physical.codegen import generate_code
 

@@ -1,0 +1,1137 @@
+"""Static semantic analysis for CleanM: the ``repro check`` pass.
+
+CleanM's pitch is holistic validation and optimization across its three
+levels; until this pass existed the front end accepted any syntactically
+valid query and let unknown columns, ill-typed predicates, and malformed
+DC rules explode at runtime inside workers.  This module turns those into
+pre-dispatch :class:`Diagnostic` objects with stable ``CM###`` codes and
+lexer source spans, so the CLI can point a caret at the offending text
+and the facade can refuse to dispatch a plan that cannot succeed.
+
+The analysis is schema inference plus a handful of judgment rules:
+
+* every column reference must resolve against the (inferred) schema of
+  its table — tables are sampled for value *types* and scanned for key
+  *presence*, so heterogeneous dirty data never causes false positives;
+* predicates are type-checked: an ordered comparison or arithmetic over
+  incompatible domains (a string column against a number) is rejected
+  statically instead of raising ``TypeError`` on the first dirty row;
+* similarity thetas must lie in [0, 1], metrics and blocking operators
+  must name registered algorithms;
+* DC rules are validated beyond ``parse_dc``'s identifier check:
+  attribute existence, predicate/type compatibility, and trivial
+  unsatisfiability (an ordering-set intersection that admits no pair);
+* monoid well-formedness: a non-commutative merge in a comprehension
+  that executes distributed (after a shuffle) violates the paper's
+  legality rules and is an error;
+* under ``execution="parallel"``, user-registered scalar functions that
+  cannot cross the process boundary are rejected before dispatch.
+
+Every code is registered in :data:`CODES`; the docs reference
+(``docs/DIAGNOSTICS.md``) and the uniqueness tests key off that registry.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from ..errors import ParseError, SchemaError
+from ..monoid.comprehension import Bind, Comprehension, Filter, Generator
+from ..monoid.expressions import (
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    If,
+    Lambda,
+    Merge,
+    Proj,
+    RecordCons,
+    UnaryOp,
+    Var,
+)
+from .ast_nodes import ClusterByOp, DedupOp, FDOp, Query, SelectItem, Star
+from .lexer import Token, tokenize
+from .parser import parse
+
+#: Every diagnostic code this analyzer can emit, with its one-line meaning.
+#: ``docs/DIAGNOSTICS.md`` must carry an entry per code (tested).
+CODES: dict[str, str] = {
+    "CM001": "the query or rule could not be parsed",
+    "CM101": "query references an unknown table",
+    "CM102": "column reference does not exist on its table",
+    "CM103": "unbound name: not a FROM-clause alias",
+    "CM104": "call to an unknown function",
+    "CM201": "type-mismatched predicate (ordered comparison or arithmetic over incompatible domains)",
+    "CM202": "similarity threshold (theta) outside [0, 1]",
+    "CM203": "unknown similarity metric",
+    "CM204": "unknown blocking operator",
+    "CM205": "DEDUP without comparison attributes",
+    "CM301": "malformed denial-constraint clause",
+    "CM302": "denial constraint references an unknown attribute",
+    "CM303": "denial-constraint predicate over incompatible types",
+    "CM304": "trivially unsatisfiable denial constraint",
+    "CM401": "illegal monoid merge: non-commutative monoid in a distributed comprehension",
+    "CM501": "unpicklable task closure: user function cannot ship to worker processes",
+    "CM502": "stale handle: worker store holds a different version than the driver expects",
+    "CM601": "plan rewrite dropped or duplicated a branch",
+    "CM602": "plan references a variable no operator binds",
+    "CM603": "plan scans a table missing from the catalog",
+}
+
+#: Per-query functions the facade binds at execution time; always callable
+#: from rewritten comprehensions, never user-shipped closures.
+ENGINE_BUILTINS = frozenset(
+    {
+        "block_keys",
+        "in_dictionary",
+        "rid_less",
+        "similar_records",
+        "pair",
+        "freeze",
+        "nth",
+        "agg",
+        "concat_terms",
+    }
+)
+
+#: Aggregate names the GROUP BY rewriter folds into ``agg(...)`` calls.
+AGGREGATE_NAMES = frozenset({"count", "sum", "avg", "min", "max", "distinct_count"})
+
+#: Blocking operators ``block_keys`` implements (see the facade).
+BLOCKING_OPS = frozenset(
+    {"token_filtering", "kmeans", "length_filtering", "exact", "key"}
+)
+
+_ORDERED_OPS = frozenset({"<", "<=", ">", ">="})
+_ARITH_OPS = frozenset({"+", "-", "*", "/", "%"})
+
+
+# ---------------------------------------------------------------------- #
+# Diagnostic objects
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Span:
+    """A half-open region of the analyzed source text."""
+
+    line: int
+    column: int
+    position: int
+    length: int = 1
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding: a stable code, severity, message, and span.
+
+    ``source_label`` names which input text the span indexes — ``"query"``
+    for CleanM text, ``"rule"``/``"where"`` for the two DC inputs — so the
+    renderer annotates the right string.
+    """
+
+    code: str
+    severity: str  # "error" | "warning"
+    message: str
+    span: Span | None = None
+    hint: str | None = None
+    source_label: str = "query"
+
+    def __str__(self) -> str:
+        loc = f" at {self.span.line}:{self.span.column}" if self.span else ""
+        return f"{self.severity}[{self.code}]: {self.message}{loc}"
+
+
+class DiagnosticsError(SchemaError):
+    """Static analysis rejected the input.
+
+    Subclasses :class:`SchemaError` so callers catching the historical
+    unknown-table/unknown-column error class keep working; ``diagnostics``
+    carries the structured findings and ``source`` the analyzed text for
+    caret rendering.
+    """
+
+    def __init__(self, diagnostics: Sequence[Diagnostic], source: str = ""):
+        diagnostics = list(diagnostics)
+        first = diagnostics[0] if diagnostics else None
+        message = str(first) if first else "static analysis failed"
+        extra = len(diagnostics) - 1
+        if extra > 0:
+            message += f" (+{extra} more diagnostic{'s' if extra > 1 else ''})"
+        super().__init__(message)
+        self.diagnostics = diagnostics
+        self.source = source
+
+
+def errors_in(diagnostics: Iterable[Diagnostic]) -> list[Diagnostic]:
+    """The error-severity subset, in order."""
+    return [d for d in diagnostics if d.severity == "error"]
+
+
+# ---------------------------------------------------------------------- #
+# Schema inference
+# ---------------------------------------------------------------------- #
+@dataclass
+class TableInfo:
+    """What the analyzer knows about one registered table.
+
+    ``columns`` maps every key appearing in *any* dict row to the set of
+    value type names seen in the sampled prefix (``None`` values are
+    skipped: missing data must not poison the type judgment).
+    ``is_record`` is False for scalar tables (e.g. dictionary term lists),
+    which get no column checks at all.
+    """
+
+    columns: dict[str, set[str]] = field(default_factory=dict)
+    is_record: bool = True
+    row_count: int = 0
+
+    def kind_of(self, attr: str) -> str | None:
+        """The abstract domain of a column: ``num``/``str``/``bool``/None."""
+        types = self.columns.get(attr)
+        if not types:
+            return None
+        if types <= {"bool"}:
+            return "bool"
+        if types <= {"int", "float", "bool"}:
+            return "num"
+        if types <= {"str"}:
+            return "str"
+        return None  # mixed domains: the analyzer stays silent
+
+
+def infer_table(rows: Sequence[Any], sample: int = 64) -> TableInfo:
+    """Infer a :class:`TableInfo` from registered rows.
+
+    Key *presence* is computed over every row (a column appearing only in
+    a late row must still resolve), value *types* only over the first
+    ``sample`` rows — type judgments tolerate the unsampled tail because
+    mixed observations already disable them.
+    """
+    info = TableInfo(row_count=len(rows))
+    if not rows or not isinstance(rows[0], dict):
+        info.is_record = False
+        return info
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            info.is_record = False
+            return info
+        for key, value in row.items():
+            types = info.columns.setdefault(key, set())
+            if i < sample and value is not None:
+                types.add(type(value).__name__)
+    return info
+
+
+# ---------------------------------------------------------------------- #
+# Span location
+# ---------------------------------------------------------------------- #
+class SpanFinder:
+    """Locates identifiers/numbers in source text by re-tokenizing it.
+
+    The expression IR carries no positions (adding them would touch every
+    constructor in the calculus), so diagnostics recover spans by finding
+    the matching token in the original text.  Tokenization is lazy: a
+    clean analysis never pays for it.
+    """
+
+    def __init__(self, text: str):
+        self.text = text
+        self._tokens: list[Token] | None = None
+        self._line_starts: list[int] | None = None
+
+    def _ensure(self) -> list[Token]:
+        if self._tokens is None:
+            try:
+                self._tokens = tokenize(self.text)
+            except ParseError:
+                self._tokens = []
+        return self._tokens
+
+    def _column(self, position: int) -> int:
+        if self._line_starts is None:
+            starts = [0]
+            for i, ch in enumerate(self.text):
+                if ch == "\n":
+                    starts.append(i + 1)
+            self._line_starts = starts
+        start = 0
+        for s in self._line_starts:
+            if s <= position:
+                start = s
+            else:
+                break
+        return position - start + 1
+
+    def _span(self, token: Token, length: int | None = None) -> Span:
+        return Span(
+            line=token.line,
+            column=self._column(token.position),
+            position=token.position,
+            length=length if length is not None else max(len(token.value), 1),
+        )
+
+    def ident(self, word: str) -> Span | None:
+        for token in self._ensure():
+            if token.kind == "IDENT" and token.value == word:
+                return self._span(token)
+        return None
+
+    def attr(self, alias: str, attr: str) -> Span | None:
+        """The span of ``alias.attr`` (the whole dotted reference)."""
+        tokens = self._ensure()
+        for i in range(len(tokens) - 2):
+            if (
+                tokens[i].kind == "IDENT"
+                and tokens[i].value == alias
+                and tokens[i + 1].kind == "SYMBOL"
+                and tokens[i + 1].value == "."
+                and tokens[i + 2].kind == "IDENT"
+                and tokens[i + 2].value == attr
+            ):
+                start = tokens[i].position
+                end = tokens[i + 2].position + len(attr)
+                return self._span(tokens[i], end - start)
+        return None
+
+    def number(self, value: float) -> Span | None:
+        for token in self._ensure():
+            if token.kind == "NUMBER":
+                try:
+                    if float(token.value) == value:
+                        return self._span(token)
+                except ValueError:  # pragma: no cover - lexer guarantees floats
+                    continue
+        return None
+
+    def at(self, position: int, length: int = 1) -> Span:
+        line = self.text.count("\n", 0, max(position, 0)) + 1
+        return Span(
+            line=line,
+            column=self._column(max(position, 0)),
+            position=max(position, 0),
+            length=max(length, 1),
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Query analysis
+# ---------------------------------------------------------------------- #
+def parse_error_diagnostic(
+    exc: ParseError, label: str = "query", source: str = ""
+) -> Diagnostic:
+    """Wrap a :class:`ParseError` as the CM001 diagnostic."""
+    span = None
+    if exc.position >= 0:
+        if source:
+            span = SpanFinder(source).at(exc.position)
+        else:
+            span = Span(line=max(exc.line, 1), column=1, position=exc.position, length=1)
+    return Diagnostic(
+        code="CM001",
+        severity="error",
+        message=str(exc),
+        span=span,
+        source_label=label,
+    )
+
+
+def analyze_query(
+    sql: str | Query,
+    tables: Mapping[str, Sequence[Any]],
+    *,
+    functions: Mapping[str, Callable] | None = None,
+    execution: str = "row",
+    infos: Mapping[str, TableInfo] | None = None,
+    source: str = "",
+    branches: Sequence[Any] | None = None,
+) -> list[Diagnostic]:
+    """Analyze one CleanM query against registered tables.
+
+    ``sql`` may be raw text (parsed here; a parse failure returns the
+    single CM001 diagnostic) or an already-parsed :class:`Query` with
+    ``source`` carrying the original text for spans.  ``infos`` supplies
+    pre-inferred schemas (the facade caches them per table version);
+    missing entries are inferred on demand.  ``branches`` passes the
+    caller's already-rewritten comprehension branches for the monoid
+    legality walk (the facade compiles them anyway); without it the query
+    is de-sugared here.
+    """
+    if isinstance(sql, str):
+        source = sql
+        try:
+            query = parse(sql)
+        except ParseError as exc:
+            return [parse_error_diagnostic(exc)]
+    else:
+        query = sql
+
+    diags: list[Diagnostic] = []
+    finder = SpanFinder(source)
+    if functions is None:
+        from ..physical.functions import DEFAULT_FUNCTIONS
+
+        functions = DEFAULT_FUNCTIONS
+    known_functions = set(functions) | ENGINE_BUILTINS | AGGREGATE_NAMES
+
+    # -- tables and aliases -------------------------------------------- #
+    alias_map: dict[str, str] = {}
+    for t in query.tables:
+        alias_map[t.alias] = t.name
+        if t.name not in tables:
+            hint = _closest(t.name, tables)
+            diags.append(
+                Diagnostic(
+                    code="CM101",
+                    severity="error",
+                    message=f"query references unknown table {t.name!r}",
+                    span=finder.ident(t.name),
+                    hint=hint and f"did you mean {hint!r}?",
+                )
+            )
+
+    local_infos: dict[str, TableInfo] = dict(infos or {})
+    for name in set(alias_map.values()):
+        if name in tables and name not in local_infos:
+            local_infos[name] = infer_table(tables[name])
+
+    checker = _ExprChecker(alias_map, local_infos, known_functions, finder, diags)
+    for expr in _query_expressions(query):
+        checker.check(expr)
+
+    # -- cleaning-operator parameters ---------------------------------- #
+    for op in query.cleaning_ops:
+        if isinstance(op, (DedupOp, ClusterByOp)):
+            _check_similarity_params(op, finder, diags)
+        if isinstance(op, DedupOp) and not op.attributes:
+            diags.append(
+                Diagnostic(
+                    code="CM205",
+                    severity="error",
+                    message="DEDUP needs at least one comparison attribute",
+                    span=finder.ident(op.op),
+                    hint="write DEDUP(op, metric, theta, alias.attribute)",
+                )
+            )
+
+    # -- monoid legality over the de-sugared branches ------------------- #
+    if branches is not None:
+        for branch in branches:
+            diags.extend(check_monoid_legality(branch.comprehension, branch.name))
+    elif not errors_in(diags):
+        try:
+            from .rewriter import rewrite_query
+
+            for branch in rewrite_query(query):
+                diags.extend(check_monoid_legality(branch.comprehension, branch.name))
+        except Exception:
+            # De-sugaring failures surface through compile() with their own
+            # error class; the legality walk only covers what de-sugars.
+            pass
+
+    # -- task-closure shippability (parallel backend only) -------------- #
+    if execution == "parallel":
+        diags.extend(
+            check_task_closures(_call_names_in(query), functions, finder)
+        )
+
+    return diags
+
+
+def _query_expressions(query: Query) -> Iterator[Expr]:
+    for item in query.select:
+        if isinstance(item, SelectItem):
+            yield item.expr
+    if query.where is not None:
+        yield query.where
+    yield from query.group_by
+    if query.having is not None:
+        yield query.having
+    for op in query.cleaning_ops:
+        if isinstance(op, FDOp):
+            yield from op.lhs
+            yield from op.rhs
+        elif isinstance(op, DedupOp):
+            yield from op.attributes
+        elif isinstance(op, ClusterByOp):
+            yield op.term
+
+
+def _call_names_in(query: Query) -> set[str]:
+    names: set[str] = set()
+
+    def walk(expr: Expr) -> None:
+        if isinstance(expr, Call):
+            names.add(expr.name)
+        for child in expr.children():
+            walk(child)
+
+    for expr in _query_expressions(query):
+        walk(expr)
+    return names
+
+
+def _closest(name: str, candidates: Iterable[str]) -> str | None:
+    matches = difflib.get_close_matches(name, list(candidates), n=1, cutoff=0.6)
+    return matches[0] if matches else None
+
+
+class _ExprChecker:
+    """Walks parsed expressions resolving names and judging types."""
+
+    def __init__(
+        self,
+        alias_map: dict[str, str],
+        infos: Mapping[str, TableInfo],
+        known_functions: set[str],
+        finder: SpanFinder,
+        diags: list[Diagnostic],
+    ):
+        self.alias_map = alias_map
+        self.infos = infos
+        self.finder = finder
+        self.diags = diags
+        self.known_functions = known_functions
+        self._reported: set[tuple] = set()
+
+    def _emit(self, diag: Diagnostic, key: tuple) -> None:
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        self.diags.append(diag)
+
+    def check(self, expr: Expr) -> None:
+        if isinstance(expr, Proj) and isinstance(expr.source, Var):
+            self._check_column(expr.source.name, expr.attr)
+            return
+        if isinstance(expr, Var):
+            if expr.name not in self.alias_map:
+                hint = _closest(expr.name, self.alias_map)
+                self._emit(
+                    Diagnostic(
+                        code="CM103",
+                        severity="error",
+                        message=(
+                            f"unbound name {expr.name!r}: not an alias in the "
+                            f"FROM clause"
+                        ),
+                        span=self.finder.ident(expr.name),
+                        hint=hint and f"did you mean {hint!r}?",
+                    ),
+                    ("CM103", expr.name),
+                )
+            return
+        if isinstance(expr, Call):
+            if expr.name not in self.known_functions:
+                hint = _closest(expr.name, self.known_functions)
+                self._emit(
+                    Diagnostic(
+                        code="CM104",
+                        severity="error",
+                        message=f"unknown function {expr.name!r}",
+                        span=self.finder.ident(expr.name),
+                        hint=hint and f"did you mean {hint!r}?",
+                    ),
+                    ("CM104", expr.name),
+                )
+        if isinstance(expr, BinOp):
+            self._check_binop(expr)
+        for child in expr.children():
+            self.check(child)
+
+    def _check_column(self, alias: str, attr: str) -> None:
+        if alias not in self.alias_map:
+            hint = _closest(alias, self.alias_map)
+            self._emit(
+                Diagnostic(
+                    code="CM103",
+                    severity="error",
+                    message=(
+                        f"unbound name {alias!r}: not an alias in the FROM clause"
+                    ),
+                    span=self.finder.ident(alias),
+                    hint=hint and f"did you mean {hint!r}?",
+                ),
+                ("CM103", alias),
+            )
+            return
+        table = self.alias_map[alias]
+        info = self.infos.get(table)
+        if info is None or not info.is_record or not info.columns:
+            return  # unknown table (already CM101), scalar rows, or empty
+        if attr == "_rid" or attr in info.columns:
+            return
+        hint = _closest(attr, info.columns)
+        self._emit(
+            Diagnostic(
+                code="CM102",
+                severity="error",
+                message=(
+                    f"table {table!r} (alias {alias!r}) has no column {attr!r}"
+                ),
+                span=self.finder.attr(alias, attr),
+                hint=hint and f"did you mean {hint!r}?",
+            ),
+            ("CM102", alias, attr),
+        )
+
+    def _check_binop(self, expr: BinOp) -> None:
+        if expr.op not in _ORDERED_OPS and expr.op not in _ARITH_OPS:
+            return
+        left = self.kind_of(expr.left)
+        right = self.kind_of(expr.right)
+        if left is None or right is None or left == right:
+            return
+        if {left, right} <= {"num", "bool"}:
+            return  # bools are numbers in every backend
+        what = "ordered comparison" if expr.op in _ORDERED_OPS else "arithmetic"
+        self._emit(
+            Diagnostic(
+                code="CM201",
+                severity="error",
+                message=(
+                    f"{what} {expr.op!r} over incompatible domains: "
+                    f"{_describe_side(expr.left, left)} vs "
+                    f"{_describe_side(expr.right, right)}"
+                ),
+                span=self._binop_span(expr),
+                hint="cast one side or compare compatible columns",
+            ),
+            ("CM201", repr(expr)),
+        )
+
+    def _binop_span(self, expr: BinOp) -> Span | None:
+        for side in (expr.left, expr.right):
+            if isinstance(side, Proj) and isinstance(side.source, Var):
+                span = self.finder.attr(side.source.name, side.attr)
+                if span is not None:
+                    return span
+        return None
+
+    def kind_of(self, expr: Expr) -> str | None:
+        """Abstract domain of an expression: ``num``/``str``/``bool``/None."""
+        if isinstance(expr, Const):
+            value = expr.value
+            if isinstance(value, bool):
+                return "bool"
+            if isinstance(value, (int, float)):
+                return "num"
+            if isinstance(value, str):
+                return "str"
+            return None
+        if isinstance(expr, Proj) and isinstance(expr.source, Var):
+            table = self.alias_map.get(expr.source.name)
+            info = self.infos.get(table) if table else None
+            if info is None:
+                return None
+            return info.kind_of(expr.attr)
+        if isinstance(expr, Call):
+            return _FUNCTION_KINDS.get(expr.name)
+        if isinstance(expr, BinOp):
+            if expr.op in _ARITH_OPS:
+                kinds = {self.kind_of(expr.left), self.kind_of(expr.right)}
+                if kinds <= {"num", "bool"}:
+                    return "num"
+                if expr.op == "+" and kinds == {"str"}:
+                    return "str"
+                return None
+            return "bool"
+        if isinstance(expr, UnaryOp):
+            return "bool" if expr.op == "not" else self.kind_of(expr.operand)
+        return None
+
+
+_FUNCTION_KINDS: dict[str, str] = {
+    "count": "num",
+    "len": "num",
+    "distinct_count": "num",
+    "sum": "num",
+    "abs": "num",
+    "similarity": "num",
+    "lower": "str",
+    "upper": "str",
+    "concat": "str",
+    "concat_terms": "str",
+    "prefix": "str",
+    "similar": "bool",
+    "similar_records": "bool",
+    "in_dictionary": "bool",
+    "rid_less": "bool",
+}
+
+
+def _describe_side(expr: Expr, kind: str) -> str:
+    if isinstance(expr, Proj) and isinstance(expr.source, Var):
+        return f"{expr.source.name}.{expr.attr} ({kind})"
+    if isinstance(expr, Const):
+        return f"{expr.value!r} ({kind})"
+    return f"{expr!r} ({kind})"
+
+
+def _check_similarity_params(
+    op: DedupOp | ClusterByOp, finder: SpanFinder, diags: list[Diagnostic]
+) -> None:
+    from ..cleaning.similarity import _METRICS
+
+    kind = "DEDUP" if isinstance(op, DedupOp) else "CLUSTER BY"
+    if not 0.0 <= op.theta <= 1.0:
+        diags.append(
+            Diagnostic(
+                code="CM202",
+                severity="error",
+                message=(
+                    f"{kind} similarity threshold {op.theta!r} is outside [0, 1]"
+                ),
+                span=finder.number(op.theta),
+                hint="theta is a similarity in [0, 1], not a distance",
+            )
+        )
+    if op.metric not in _METRICS:
+        hint = _closest(op.metric, _METRICS)
+        diags.append(
+            Diagnostic(
+                code="CM203",
+                severity="error",
+                message=f"unknown similarity metric {op.metric!r} in {kind}",
+                span=finder.ident(op.metric),
+                hint=hint and f"did you mean {hint!r}?",
+            )
+        )
+    if op.op not in BLOCKING_OPS:
+        hint = _closest(op.op, BLOCKING_OPS)
+        diags.append(
+            Diagnostic(
+                code="CM204",
+                severity="error",
+                message=f"unknown blocking operator {op.op!r} in {kind}",
+                span=finder.ident(op.op),
+                hint=hint and f"did you mean {hint!r}?",
+            )
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Monoid legality (the paper's well-formedness rules)
+# ---------------------------------------------------------------------- #
+def check_monoid_legality(expr: Expr, branch: str = "query") -> list[Diagnostic]:
+    """Reject merges the distributed evaluation order can corrupt.
+
+    A comprehension that executes after a shuffle merges per-partition
+    results in nondeterministic order, so its monoid must be commutative
+    (§4.2's legality rules; lists and function composition are the
+    canonical violators).  Idempotence is *not* required — the engine's
+    exactly-once task protocol covers non-idempotent folds like bags.
+    """
+    diags: list[Diagnostic] = []
+    _walk_monoids(expr, branch, diags)
+    return diags
+
+
+def _walk_monoids(expr: Expr, branch: str, diags: list[Diagnostic]) -> None:
+    monoid = None
+    if isinstance(expr, Comprehension):
+        monoid = expr.monoid
+        for q in expr.qualifiers:
+            if isinstance(q, Generator):
+                _walk_monoids(q.source, branch, diags)
+            elif isinstance(q, Filter):
+                _walk_monoids(q.predicate, branch, diags)
+            elif isinstance(q, Bind):
+                _walk_monoids(q.expr, branch, diags)
+        _walk_monoids(expr.head, branch, diags)
+    elif isinstance(expr, Merge):
+        monoid = expr.monoid
+        _walk_monoids(expr.left, branch, diags)
+        _walk_monoids(expr.right, branch, diags)
+    else:
+        for child in expr.children():
+            _walk_monoids(child, branch, diags)
+    if monoid is not None and not getattr(monoid, "commutative", True):
+        name = getattr(monoid, "name", type(monoid).__name__)
+        diags.append(
+            Diagnostic(
+                code="CM401",
+                severity="error",
+                message=(
+                    f"branch {branch!r} merges with non-commutative monoid "
+                    f"{name!r}; per-partition results merge in shuffle order, "
+                    f"which is nondeterministic"
+                ),
+                hint="fold into a bag/set and order on the driver instead",
+            )
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Task-closure shippability (parallel backend)
+# ---------------------------------------------------------------------- #
+def check_task_closures(
+    call_names: Iterable[str],
+    functions: Mapping[str, Callable],
+    finder: SpanFinder | None = None,
+) -> list[Diagnostic]:
+    """CM501: user-registered functions a parallel plan cannot ship.
+
+    Built-in registry functions are exempt — the engine knows which of
+    them ship and routes around the rest — but a *user-registered*
+    closure or lambda silently forces the whole plan onto the row path,
+    which is never what a caller who asked for ``execution="parallel"``
+    meant.
+    """
+    from ..engine.parallel import is_module_level_callable, is_picklable
+    from ..physical.functions import BUILTIN_FUNCTION_NAMES
+
+    diags: list[Diagnostic] = []
+    for name in sorted(set(call_names)):
+        if name in BUILTIN_FUNCTION_NAMES or name in ENGINE_BUILTINS:
+            continue
+        func = functions.get(name)
+        if func is None:
+            continue  # CM104 already covers unknown names
+        if is_module_level_callable(func) or is_picklable(func):
+            continue
+        diags.append(
+            Diagnostic(
+                code="CM501",
+                severity="error",
+                message=(
+                    f"function {name!r} cannot ship to worker processes: "
+                    f"{_unshippable_reason(func)}"
+                ),
+                span=finder.ident(name) if finder else None,
+                hint=(
+                    "register a module-level function (picklable by "
+                    "reference) instead of a lambda or closure"
+                ),
+            )
+        )
+    return diags
+
+
+def _unshippable_reason(func: Callable) -> str:
+    qualname = getattr(func, "__qualname__", "")
+    if "<lambda>" in qualname:
+        return "it is a lambda (not picklable)"
+    if "<locals>" in qualname:
+        return f"it is defined inside {qualname.split('.<locals>')[0]!r} (a closure)"
+    return "it does not survive a pickle round trip"
+
+
+# ---------------------------------------------------------------------- #
+# Denial-constraint analysis
+# ---------------------------------------------------------------------- #
+_ORDER_SETS: dict[str, frozenset[str]] = {
+    "<": frozenset({"LT"}),
+    "<=": frozenset({"LT", "EQ"}),
+    "==": frozenset({"EQ"}),
+    "!=": frozenset({"LT", "GT"}),
+    ">": frozenset({"GT"}),
+    ">=": frozenset({"GT", "EQ"}),
+}
+
+
+def analyze_dc(
+    rule: str,
+    where: str = "",
+    info: TableInfo | None = None,
+) -> list[Diagnostic]:
+    """Validate a textual denial constraint beyond ``parse_dc``.
+
+    Checks clause shape (CM301), attribute existence against the target
+    table (CM302), predicate/type compatibility (CM303), and trivial
+    unsatisfiability (CM304): a conjunction whose ordering sets over the
+    same attribute pair intersect to nothing — or single-tuple filters
+    bounding one attribute to an empty interval — can never produce a
+    violation, so running it would silently report a clean table.
+    """
+    from ..cleaning.dc_kernel import _split_clauses, _split_operator
+
+    diags: list[Diagnostic] = []
+    rule_finder = SpanFinder(rule)
+    where_finder = SpanFinder(where)
+
+    clauses = _split_clauses(rule)
+    if not clauses:
+        diags.append(
+            Diagnostic(
+                code="CM301",
+                severity="error",
+                message="a denial constraint needs at least one predicate",
+                span=rule_finder.at(0, max(len(rule), 1)),
+                source_label="rule",
+            )
+        )
+        return diags
+
+    order_sets: dict[tuple[str, str], set[str]] = {}
+    predicates: list[tuple[str, str, str]] = []
+    search_from = 0
+    for clause in clauses:
+        offset = rule.find(clause, search_from)
+        if offset < 0:
+            offset = rule.find(clause)
+        search_from = offset + len(clause) if offset >= 0 else search_from
+        span = rule_finder.at(max(offset, 0), len(clause))
+        try:
+            left, op, right = _split_operator(clause)
+        except ValueError as exc:
+            diags.append(
+                Diagnostic(
+                    code="CM301",
+                    severity="error",
+                    message=str(exc),
+                    span=span,
+                    hint="write clauses as t1.attr OP t2.attr",
+                    source_label="rule",
+                )
+            )
+            continue
+        left_attr = _role_attr(left, "t1", span, diags, "rule")
+        right_attr = _role_attr(right, "t2", span, diags, "rule")
+        if left_attr is None or right_attr is None:
+            continue
+        _check_dc_attr(left_attr, info, span, diags, "rule")
+        _check_dc_attr(right_attr, info, span, diags, "rule")
+        _check_dc_types(left_attr, op, right_attr, info, span, diags)
+        predicates.append((left_attr, op, right_attr))
+        pair = (left_attr, right_attr)
+        allowed = order_sets.setdefault(pair, {"LT", "EQ", "GT"})
+        allowed &= _ORDER_SETS[op]
+
+    for (left_attr, right_attr), allowed in order_sets.items():
+        if not allowed:
+            ops = " and ".join(
+                f"t1.{l} {o} t2.{r}"
+                for l, o, r in predicates
+                if (l, r) == (left_attr, right_attr)
+            )
+            diags.append(
+                Diagnostic(
+                    code="CM304",
+                    severity="error",
+                    message=(
+                        f"trivially unsatisfiable constraint: {ops} admits no "
+                        f"ordering of (t1.{left_attr}, t2.{right_attr})"
+                    ),
+                    span=rule_finder.at(0, len(rule)),
+                    hint="the conjunction can never hold, so no pair can violate it",
+                    source_label="rule",
+                )
+            )
+
+    diags.extend(_analyze_dc_filters(where, where_finder, info))
+    return diags
+
+
+def _role_attr(
+    term: str,
+    role: str,
+    span: Span,
+    diags: list[Diagnostic],
+    label: str,
+) -> str | None:
+    prefix = role + "."
+    if not term.startswith(prefix):
+        diags.append(
+            Diagnostic(
+                code="CM301",
+                severity="error",
+                message=f"expected {prefix}ATTR in DC clause, got {term!r}",
+                span=span,
+                hint=f"qualify the attribute with its tuple role ({role}.)",
+                source_label=label,
+            )
+        )
+        return None
+    attr = term[len(prefix):]
+    if not attr.isidentifier():
+        diags.append(
+            Diagnostic(
+                code="CM301",
+                severity="error",
+                message=f"invalid attribute name {attr!r} in DC clause",
+                span=span,
+                source_label=label,
+            )
+        )
+        return None
+    return attr
+
+
+def _check_dc_attr(
+    attr: str,
+    info: TableInfo | None,
+    span: Span,
+    diags: list[Diagnostic],
+    label: str,
+) -> None:
+    if info is None or not info.is_record or not info.columns:
+        return
+    if attr == "_rid" or attr in info.columns:
+        return
+    hint = _closest(attr, info.columns)
+    diags.append(
+        Diagnostic(
+            code="CM302",
+            severity="error",
+            message=f"denial constraint references unknown attribute {attr!r}",
+            span=span,
+            hint=hint and f"did you mean {hint!r}?",
+            source_label=label,
+        )
+    )
+
+
+def _check_dc_types(
+    left_attr: str,
+    op: str,
+    right_attr: str,
+    info: TableInfo | None,
+    span: Span,
+    diags: list[Diagnostic],
+) -> None:
+    if info is None:
+        return
+    left = info.kind_of(left_attr)
+    right = info.kind_of(right_attr)
+    if left is None or right is None or left == right:
+        return
+    if {left, right} <= {"num", "bool"}:
+        return
+    diags.append(
+        Diagnostic(
+            code="CM303",
+            severity="error",
+            message=(
+                f"DC predicate t1.{left_attr} {op} t2.{right_attr} compares "
+                f"incompatible types ({left} vs {right}); under null-safe "
+                f"semantics it can never be satisfied"
+            ),
+            span=span,
+            source_label="rule",
+        )
+    )
+
+
+def _analyze_dc_filters(
+    where: str, finder: SpanFinder, info: TableInfo | None
+) -> list[Diagnostic]:
+    from ..cleaning.dc_kernel import _split_clauses, _split_operator
+
+    diags: list[Diagnostic] = []
+    # Per attribute: the numeric interval and equality pins the filters allow.
+    bounds: dict[str, dict[str, Any]] = {}
+    search_from = 0
+    for clause in _split_clauses(where):
+        offset = where.find(clause, search_from)
+        search_from = offset + len(clause) if offset >= 0 else search_from
+        span = finder.at(max(offset, 0), len(clause))
+        try:
+            left, op, right = _split_operator(clause)
+        except ValueError as exc:
+            diags.append(
+                Diagnostic(
+                    code="CM301",
+                    severity="error",
+                    message=str(exc),
+                    span=span,
+                    hint="write filters as t1.attr OP constant",
+                    source_label="where",
+                )
+            )
+            continue
+        attr = _role_attr(left, "t1", span, diags, "where")
+        if attr is None:
+            continue
+        _check_dc_attr(attr, info, span, diags, "where")
+        value: Any
+        try:
+            value = int(right)
+        except ValueError:
+            try:
+                value = float(right)
+            except ValueError:
+                value = right.strip("'\"")
+        if info is not None:
+            column = info.kind_of(attr)
+            const = "num" if isinstance(value, (int, float)) else "str"
+            if column is not None and column != const and not (
+                {column, const} <= {"num", "bool"}
+            ):
+                diags.append(
+                    Diagnostic(
+                        code="CM303",
+                        severity="error",
+                        message=(
+                            f"filter t1.{attr} {op} {value!r} compares a "
+                            f"{column} column with a {const} constant"
+                        ),
+                        span=span,
+                        source_label="where",
+                    )
+                )
+        if isinstance(value, (int, float)):
+            state = bounds.setdefault(
+                attr, {"lo": float("-inf"), "hi": float("inf"), "eq": None}
+            )
+            if op in ("<", "<="):
+                state["hi"] = min(state["hi"], value)
+            elif op in (">", ">="):
+                state["lo"] = max(state["lo"], value)
+            elif op == "==":
+                if state["eq"] is not None and state["eq"] != value:
+                    state["lo"], state["hi"] = 1.0, 0.0  # force the report
+                state["eq"] = value
+
+    for attr, state in bounds.items():
+        lo, hi, eq = state["lo"], state["hi"], state["eq"]
+        empty = lo > hi or (eq is not None and not (lo <= eq <= hi))
+        if empty:
+            diags.append(
+                Diagnostic(
+                    code="CM304",
+                    severity="error",
+                    message=(
+                        f"filters on t1.{attr} admit no value "
+                        f"(bounds collapse to an empty interval)"
+                    ),
+                    span=finder.at(0, max(len(where), 1)),
+                    source_label="where",
+                )
+            )
+    return diags
+
+
+# ---------------------------------------------------------------------- #
+# Rendering
+# ---------------------------------------------------------------------- #
+def render_diagnostics(
+    diagnostics: Sequence[Diagnostic],
+    sources: Mapping[str, str] | str,
+) -> str:
+    """Human-readable report with caret-annotated source spans.
+
+    ``sources`` maps each :attr:`Diagnostic.source_label` to its text
+    (passing a bare string binds it to the ``"query"`` label).
+    """
+    if isinstance(sources, str):
+        sources = {"query": sources}
+    blocks: list[str] = []
+    for diag in diagnostics:
+        lines = [f"{diag.severity}[{diag.code}]: {diag.message}"]
+        text = sources.get(diag.source_label)
+        if diag.span is not None and text:
+            source_lines = text.splitlines() or [""]
+            row = min(max(diag.span.line, 1), len(source_lines)) - 1
+            line_text = source_lines[row]
+            label = diag.source_label
+            lines.append(f"  --> {label}:{diag.span.line}:{diag.span.column}")
+            lines.append(f"   | {line_text}")
+            caret_col = max(diag.span.column - 1, 0)
+            width = max(min(diag.span.length, len(line_text) - caret_col), 1)
+            lines.append("   | " + " " * caret_col + "^" * width)
+        if diag.hint:
+            lines.append(f"   = help: {diag.hint}")
+        blocks.append("\n".join(lines))
+    return "\n".join(blocks)

@@ -301,13 +301,17 @@ class _BrokenBlob:
     Stored in place of the object so the *next task touching it* can report
     the real cause (e.g. a class importable on the driver but not in the
     worker under the spawn start method) instead of a misleading
-    evicted-handle or missing-function error.
+    evicted-handle or missing-function error.  ``label`` names what the
+    blob *was* — the function's qualname or ``pin 'name' vN part P`` — so
+    the eventual error points at the offending object, not just at "a
+    blob".
     """
 
-    __slots__ = ("error",)
+    __slots__ = ("error", "label")
 
-    def __init__(self, error: str):
+    def __init__(self, error: str, label: str = ""):
         self.error = error
+        self.label = label
 
 
 def _resolve_arg(store: dict, arg: Any) -> Any:
@@ -322,8 +326,9 @@ def _resolve_arg(store: dict, arg: Any) -> Any:
                 f"v{arg.version} part {arg.part} (evicted or invalidated)"
             ) from None
         if isinstance(value, _BrokenBlob):
+            what = value.label or f"partition {arg.name!r}"
             raise StaleHandleError(
-                f"partition {arg.name!r} v{arg.version} part {arg.part} "
+                f"{what} (handle {arg.name!r} v{arg.version} part {arg.part}) "
                 f"failed to unpickle in the worker: {value.error}"
             )
         return value
@@ -375,9 +380,10 @@ def _worker_main(
                 resolved = tuple(_resolve_arg(store, a) for a in args)
                 func = funcs[fid]
                 if isinstance(func, _BrokenBlob):
+                    what = func.label or f"task function {fid}"
                     raise RuntimeError(
-                        f"task function {fid} failed to unpickle in the "
-                        f"worker: {func.error}"
+                        f"{what} (function id {fid}) failed to unpickle in "
+                        f"the worker: {func.error}"
                     )
                 result = func(*resolved)
                 if store_key is not None:
@@ -408,14 +414,17 @@ def _worker_main(
                 store[(name, version, part)] = pickle.loads(blob)
             except Exception as exc:  # noqa: BLE001 - a bad blob must not
                 # kill the worker; the next task on this handle reports why
-                store[(name, version, part)] = _BrokenBlob(repr(exc))
+                store[(name, version, part)] = _BrokenBlob(
+                    repr(exc), label=f"pinned partition {name!r} v{version} part {part}"
+                )
         elif kind == "func":
-            _, fid, blob = cmd
+            _, fid, blob = cmd[:3]
+            label = cmd[3] if len(cmd) > 3 else ""
             try:
                 funcs[fid] = pickle.loads(blob)
             except Exception as exc:  # noqa: BLE001 - tasks naming fid get
                 # a diagnosable envelope instead of a dead worker
-                funcs[fid] = _BrokenBlob(repr(exc))
+                funcs[fid] = _BrokenBlob(repr(exc), label=label)
         elif kind == "func_del":
             funcs.pop(cmd[1], None)
         elif kind == "evict":
@@ -616,10 +625,13 @@ class WorkerPool:
         if call.wall is not None:
             counters.wall_seconds += call.wall
 
-    def _ensure_func(self, worker: int, fblob: bytes, call: _CallRecord) -> int:
+    def _ensure_func(
+        self, worker: int, fblob: bytes, call: _CallRecord, label: str = ""
+    ) -> int:
         """Resolve (or register) the function id for a pickled callable and
-        make sure worker ``worker`` holds it.  Caller holds the dispatch
-        lock."""
+        make sure worker ``worker`` holds it.  ``label`` (the callable's
+        qualname) travels with the blob so a worker-side unpickle failure
+        names the function.  Caller holds the dispatch lock."""
         fid = self._func_ids.get(fblob)
         if fid is None:
             fid = self._func_counter
@@ -635,7 +647,7 @@ class WorkerPool:
         else:
             self._func_ids.move_to_end(fblob)
         if fid not in self._worker_funcs[worker]:
-            self._ship(worker, ("func", fid, fblob), len(fblob), call)
+            self._ship(worker, ("func", fid, fblob, label), len(fblob), call)
             self._worker_funcs[worker].add(fid)
         return fid
 
@@ -720,6 +732,16 @@ class WorkerPool:
         """Handles of a previously pinned name/version, if still valid."""
         with self._store_lock:
             return self._pins.get((name, version))
+
+    def pinned_versions(self, name: str) -> list[int]:
+        """Every version of ``name`` the pin registry currently holds.
+
+        The plan verifier's handle check: an empty list means cold (fine,
+        pins rebuild on demand), while a non-empty list *missing* the
+        driver's expected version means driver/store version skew.
+        """
+        with self._store_lock:
+            return sorted(v for (n, v) in self._pins if n == name)
 
     def pinned_nbytes(self, name: str | None = None) -> int:
         """Serialized bytes resident under pinned name(s) — the store-memory
@@ -879,6 +901,7 @@ class WorkerPool:
         start = time.perf_counter()
         tasks = [tuple(args) for args in args_list]
         fblob = pickle.dumps(func) if tasks else b""
+        flabel = f"task function {getattr(func, '__qualname__', repr(func))!r}"
         task_parts = [
             self._part_for(args, i, parts) for i, args in enumerate(tasks)
         ]
@@ -901,7 +924,7 @@ class WorkerPool:
                         part = task_parts[i]
                         worker = part % self.workers
                         self._ensure_recovered(worker, call)
-                        fid = self._ensure_func(worker, fblob, call)
+                        fid = self._ensure_func(worker, fblob, call, flabel)
                         blob = pickle.dumps(tasks[i])
                         task_id = self._task_counter
                         self._task_counter += 1
@@ -1211,7 +1234,10 @@ class WorkerPool:
                         for p, (fblob, args_blob) in recipe["tasks"].items():
                             if p % self.workers != worker:
                                 continue
-                            fid = self._ensure_func(worker, fblob, call)
+                            fid = self._ensure_func(
+                                worker, fblob, call,
+                                f"stage-rebuild task for {name!r} v{version}",
+                            )
                             task_id = self._task_counter
                             self._task_counter += 1
                             with self._reply_cond:
@@ -1338,3 +1364,73 @@ def is_picklable(obj: Any) -> bool:
         return True
     except Exception:
         return False
+
+
+def is_module_level_callable(func: Any) -> bool:
+    """Whether ``func`` pickles *by reference* — the static fast path.
+
+    Pickle ships plain functions as ``module.qualname`` references, so a
+    module-level def is shippable iff its qualname resolves back to the
+    same object; lambdas and closures (``<lambda>``/``<locals>`` in the
+    qualname) never are.  This answers without serializing anything,
+    replacing a pickle round trip per probe.
+    """
+    if not callable(func):
+        return False
+    qualname = getattr(func, "__qualname__", None)
+    module = getattr(func, "__module__", None)
+    if not qualname or not module:
+        return False
+    if "<lambda>" in qualname or "<locals>" in qualname:
+        return False
+    import sys
+
+    obj: Any = sys.modules.get(module)
+    if obj is None:
+        return False
+    for part in qualname.split("."):
+        obj = getattr(obj, part, None)
+        if obj is None:
+            return False
+    return obj is func
+
+
+#: Builtin container/scalar types whose instances always pickle, provided
+#: their elements do — the type-walk below recurses into them.
+_SHIPPABLE_SCALARS = (str, bytes, bool, int, float, complex, type(None))
+_SHIPPABLE_CONTAINERS = (list, tuple, set, frozenset)
+
+
+def rows_statically_shippable(rows: Any, sample: int = 256) -> bool:
+    """Whether a table's rows can cross the process boundary — statically.
+
+    The legacy probe (``is_picklable(rows)``) serialized the entire table
+    just to answer yes/no; this walk types-check a sampled prefix instead:
+    builtin scalars and containers of them always pickle, and only rows
+    holding exotic values pay an actual per-row pickle probe.  Sampling is
+    sound for the engine's use: a False here merely routes the plan to the
+    serial path, and a True is re-validated by the pin itself (a failing
+    pin falls back identically — see ``CleanDB._sync_pin``).
+    """
+    if not isinstance(rows, list):
+        return is_picklable(rows)
+    for row in rows[:sample]:
+        if not _value_shippable(row):
+            return False
+    return True
+
+
+def _value_shippable(value: Any, depth: int = 6) -> bool:
+    if isinstance(value, _SHIPPABLE_SCALARS):
+        return True
+    if depth <= 0:
+        return is_picklable(value)
+    if isinstance(value, dict):
+        return all(
+            _value_shippable(k, depth - 1) and _value_shippable(v, depth - 1)
+            for k, v in value.items()
+        )
+    if isinstance(value, _SHIPPABLE_CONTAINERS):
+        return all(_value_shippable(v, depth - 1) for v in value)
+    # Exotic value (custom class, callable, file handle...): one real probe.
+    return is_picklable(value)

@@ -56,6 +56,14 @@ DEFAULT_FUNCTIONS: dict[str, Callable] = {
 }
 
 
+#: The registry's shipped names, frozen at import time.  The static
+#: analyzer exempts these from the CM501 shippability check — the engine
+#: knows which builtins cross the process boundary and routes around the
+#: rest — while anything added later via :func:`register_function` is
+#: user-supplied and must ship.
+BUILTIN_FUNCTION_NAMES: frozenset[str] = frozenset(DEFAULT_FUNCTIONS)
+
+
 def register_function(name: str, func: Callable) -> None:
     """Add a scalar function usable from CleanM queries."""
     DEFAULT_FUNCTIONS[name] = func

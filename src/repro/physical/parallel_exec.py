@@ -47,7 +47,14 @@ from ..algebra.operators import (
     SharedScanDAG,
 )
 from ..engine.dataset import Dataset
-from ..engine.parallel import ShipLog, StoreRef, is_picklable
+from ..engine.parallel import (
+    ShipLog,
+    StoreRef,
+    WorkerTaskError,
+    is_module_level_callable,
+    is_picklable,
+    rows_statically_shippable,
+)
 from ..engine.shuffle import exchange_resident
 from ..errors import PlanningError, SchemaError
 from ..monoid.expressions import Call, Expr, evaluate
@@ -354,10 +361,30 @@ def resident_input(
         pool.evict(*pinned)
         if parts is None:
             parts = round_robin_split(records, n)
-        return pool.pin(pinned[0], pinned[1], parts), False
+        return _pin_checked(pool, pinned[0], pinned[1], parts), False
     if parts is None:
         parts = round_robin_split(records, n)
-    return pool.pin(name, pool.next_version(), parts), True
+    return _pin_checked(pool, name, pool.next_version(), parts), True
+
+
+def _pin_checked(pool: Any, name: str, version: int, parts: list) -> list[StoreRef]:
+    """Pin partitions, surfacing serialization failures as degradable.
+
+    Shippability is now judged statically over a sampled prefix, so an
+    exotic row outside the sample can first fail *here*; re-raising it as
+    :class:`WorkerTaskError` routes the caller onto the row-path fallback
+    (every parallel entry point already degrades on that type) instead of
+    leaking a raw pickling error mid-dispatch.  ``pin`` has already
+    evicted its partial shipment when this fires.
+    """
+    try:
+        return pool.pin(name, version, parts)
+    except Exception as exc:
+        raise WorkerTaskError(
+            f"rows for {name!r} v{version} failed to serialize for the "
+            f"worker store: {exc!r}; degrading to the row backend",
+            exc_type=type(exc).__name__,
+        ) from exc
 
 
 # ---------------------------------------------------------------------- #
@@ -387,10 +414,12 @@ class ParallelExecutor:
         )
         # Only picklable functions can cross the process boundary; plans
         # calling anything else are left to the row path by supports().
+        # Module-level defs are judged statically (pickled by reference);
+        # only closures/lambdas pay an actual round-trip probe.
         self._shippable = {
             name: func
             for name, func in self.functions.items()
-            if is_picklable(func)
+            if is_module_level_callable(func) or is_picklable(func)
         }
         self._scan_cache: dict[tuple[str, str], list[StoreRef]] = {}
         self._temp_store = f"{TEMP_STORE}:{next(_EXEC_SEQ)}"
@@ -456,14 +485,15 @@ class ParallelExecutor:
     def _source_supported(self, table: str) -> bool:
         if table not in self._source_ok:
             source = self.catalog.get(table)
-            # Whole-list check (cached per table): a single unpicklable
-            # record anywhere must route the plan to the row path, never
-            # surface as a raw pickling error mid-dispatch.  A warm pin
-            # skips the O(table) probe — picklability was proven when the
-            # rows crossed the process boundary at pin time.
+            # A warm pin proves shippability (the rows already crossed the
+            # process boundary); a cold table gets the *static* type-walk
+            # over a sampled prefix instead of the old O(table) serialize-
+            # everything probe.  An exotic row the sample missed still
+            # cannot crash dispatch: the pin itself fails and the plan
+            # falls back to the row path (see resident_input).
             ok = isinstance(source, list) and (
                 pin_is_warm(self.cluster, source, self.pinned_tables.get(table))
-                or is_picklable(source)
+                or rows_statically_shippable(source)
             )
             self._source_ok[table] = ok
         return self._source_ok[table]
@@ -531,7 +561,7 @@ class ParallelExecutor:
             # defaults), pinned for the duration of this run.
             parts = round_robin_split(list(source), self.cluster.default_parallelism)
             name, version = self._temp()
-            raw = pool.pin(name, version, parts)
+            raw = _pin_checked(pool, name, version, parts)
         bound = pool.run(
             _bind_task, [(ref, op.var) for ref in raw], store_as=self._temp()
         )

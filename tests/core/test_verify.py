@@ -1,0 +1,158 @@
+"""Plan-invariant verification (CM6xx) and handle verification (CM502).
+
+These operate on hand-built plans and a stub pool so each invariant can be
+violated in isolation — real lowered plans never violate them, which is
+exactly why the verifier exists: it guards against *future* rewriter bugs.
+"""
+
+import pytest
+
+from repro import CleanDB
+from repro.algebra.operators import (
+    Join,
+    Nest,
+    Reduce,
+    Scan,
+    Select,
+    SharedScanDAG,
+    Unnest,
+)
+from repro.core.semantics import DiagnosticsError
+from repro.core.verify import verify_handles, verify_plan
+from repro.monoid.expressions import Proj, Var
+from repro.monoid.monoids import BagMonoid
+
+
+def codes(diags):
+    return [d.code for d in diags]
+
+
+class TestVerifyPlan:
+    def test_clean_plan_has_no_diagnostics(self):
+        plan = Select(Scan("customer", "c"), Proj(Var("c"), "name"))
+        assert verify_plan(plan, ["customer"], ["query"]) == []
+
+    def test_cm601_branch_set_changed(self):
+        dag = SharedScanDAG(
+            scan=Scan("customer", "c"),
+            branches=(Select(Scan("customer", "c"), Var("c")),),
+            branch_names=("fd1",),
+        )
+        diags = verify_plan(dag, ["customer"], ["fd1", "dedup1"])
+        assert codes(diags) == ["CM601"]
+        assert "dedup1" in diags[0].message
+
+    def test_cm602_select_predicate_unbound(self):
+        plan = Select(Scan("customer", "c"), Proj(Var("d"), "name"))
+        diags = verify_plan(plan, ["customer"])
+        assert codes(diags) == ["CM602"]
+        assert "'d'" in diags[0].message and "'c'" in diags[0].message
+
+    def test_cm602_nest_group_predicate_sees_only_group_var(self):
+        # Downstream of a Nest the record env is rebound to {var}; a
+        # group predicate peeking at the scan variable is a rewriter bug.
+        plan = Nest(
+            child=Scan("customer", "c"),
+            key=Proj(Var("c"), "address"),
+            aggregates=(("cnt", BagMonoid(), Var("c")),),
+            group_predicate=Proj(Var("c"), "name"),
+            var="g",
+        )
+        diags = verify_plan(plan, ["customer"])
+        assert codes(diags) == ["CM602"]
+        assert "Nest group predicate" in diags[0].message
+
+    def test_cm602_join_keys_check_their_own_side(self):
+        left = Scan("customer", "c")
+        right = Scan("dictionary", "d")
+        plan = Join(
+            left,
+            right,
+            left_keys=(Proj(Var("d"), "name"),),  # right-side var on the left
+            right_keys=(Proj(Var("d"), "name"),),
+        )
+        diags = verify_plan(plan, ["customer", "dictionary"])
+        assert codes(diags) == ["CM602"]
+        assert "Join left key" in diags[0].message
+
+    def test_unnest_binds_its_variable_for_the_predicate(self):
+        plan = Unnest(
+            child=Scan("customer", "c"),
+            path=Proj(Var("c"), "phones"),
+            var="p",
+            predicate=Var("p"),
+        )
+        assert verify_plan(plan, ["customer"]) == []
+
+    def test_cm603_unknown_scan_table(self):
+        plan = Reduce(Scan("ghost", "g"), BagMonoid(), Var("g"))
+        diags = verify_plan(plan, ["customer"])
+        assert codes(diags) == ["CM603"]
+        assert "ghost" in diags[0].message
+
+    def test_shared_scan_root_checked_once(self):
+        scan = Scan("ghost", "c")
+        dag = SharedScanDAG(
+            scan=scan,
+            branches=(Select(scan, Var("c")),),
+            branch_names=("q",),
+        )
+        diags = verify_plan(dag, ["customer"], ["q"])
+        # The bad table is reported exactly once even though the scan
+        # appears both as the DAG root and inside the branch.
+        assert codes(diags) == ["CM603"]
+
+
+class _StubPool:
+    """Only what verify_handles touches: pinned_versions()."""
+
+    def __init__(self, versions):
+        self._versions = versions
+        self.raises = False
+
+    def pinned_versions(self, name):
+        if self.raises:
+            raise RuntimeError("pool mid-restart")
+        return self._versions.get(name, [])
+
+
+class TestVerifyHandles:
+    def test_matching_version_is_clean(self):
+        pool = _StubPool({"tbl:customer": [2]})
+        assert verify_handles(pool, {"customer": ("tbl:customer", 2)}) == []
+
+    def test_cold_store_is_clean(self):
+        pool = _StubPool({})
+        assert verify_handles(pool, {"customer": ("tbl:customer", 2)}) == []
+
+    def test_cm502_version_skew(self):
+        pool = _StubPool({"tbl:customer": [1]})
+        diags = verify_handles(pool, {"customer": ("tbl:customer", 2)})
+        assert codes(diags) == ["CM502"]
+        assert "v2" in diags[0].message and "v1" in diags[0].message
+
+    def test_pool_error_defers_to_dispatch_recovery(self):
+        pool = _StubPool({"tbl:customer": [1]})
+        pool.raises = True
+        assert verify_handles(pool, {"customer": ("tbl:customer", 2)}) == []
+
+
+class TestEndToEndInvariants:
+    def test_every_compiled_plan_passes_verification(self):
+        db = CleanDB(num_nodes=2)
+        db.register_table(
+            "customer",
+            [{"name": "ann", "address": "x", "phone": "700", "nationkey": 1}],
+        )
+        for sql in [
+            "SELECT * FROM customer c",
+            "SELECT * FROM customer c FD(c.address, c.nationkey)",
+            "SELECT * FROM customer c FD(c.address, c.phone) "
+            "DEDUP(exact, LD, 0.5, c.address)",
+        ]:
+            db.compile(sql)  # raises DiagnosticsError on any CM6xx
+
+    def test_diagnostics_error_is_schema_error(self):
+        from repro.errors import SchemaError
+
+        assert issubclass(DiagnosticsError, SchemaError)

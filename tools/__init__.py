@@ -1,0 +1,1 @@
+"""Developer tooling for the repro engine (lint, doc checks)."""

@@ -1,0 +1,28 @@
+"""Engine self-lint: encode engine invariants as Python-``ast`` rules.
+
+The CleanM semantic analyzer (:mod:`repro.core.semantics`) checks *user*
+programs; this package checks the *engine's own source* for the invariants
+that keep the parallel backend honest — the kind of property that survives
+code review once and then erodes.  Each rule is a small ``ast`` visitor;
+the framework walks the tree once and fans nodes out to every rule, so
+adding a rule is one class in :mod:`tools.lint.rules`.
+
+Run from the repo root::
+
+    python -m tools.lint src/repro
+
+Pre-existing findings live in ``baseline.json`` (fingerprint per finding);
+only *new* findings fail the build.  ``--update-baseline`` re-records.
+"""
+
+from .framework import Finding, LintRule, lint_paths, load_baseline, save_baseline
+from .rules import ALL_RULES
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintRule",
+    "lint_paths",
+    "load_baseline",
+    "save_baseline",
+]

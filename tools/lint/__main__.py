@@ -1,0 +1,56 @@
+"""CLI for the engine self-lint: ``python -m tools.lint src/repro``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .framework import lint_paths, load_baseline, save_baseline
+from .rules import ALL_RULES
+
+BASELINE = Path(__file__).with_name("baseline.json")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.lint",
+        description="Lint engine source against the parallel-engine invariants.",
+    )
+    parser.add_argument("paths", nargs="+", help="files or directories to lint")
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="record current findings as the accepted baseline",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=BASELINE,
+        help="baseline file (default: tools/lint/baseline.json)",
+    )
+    args = parser.parse_args(argv)
+
+    findings = lint_paths(args.paths, ALL_RULES)
+    if args.update_baseline:
+        save_baseline(args.baseline, findings)
+        print(f"baseline updated: {len(findings)} finding(s) recorded")
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    new = [f for f in findings if f.fingerprint() not in baseline]
+    for finding in new:
+        print(finding)
+    suppressed = len(findings) - len(new)
+    if new:
+        print(
+            f"-- {len(new)} new finding(s), {suppressed} baselined --",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"ok: no new findings ({suppressed} baselined)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,125 @@
+"""The rule-runner half of the engine self-lint.
+
+Deliberately small: a ``LintRule`` is anything with a ``code``, a
+``message``, and a ``check(tree, path, source)`` method returning
+``Finding`` objects.  The runner parses each file once and hands the same
+tree to every rule, so the cost of adding a rule is the rule itself.
+
+Baselines are fingerprint sets.  A fingerprint hashes the *path, rule
+code, and stripped source line* — not the line number — so findings
+survive unrelated edits above them but re-fire if the offending line
+itself changes.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Protocol, Sequence
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str
+    message: str
+    path: str  # repo-relative, forward slashes
+    line: int
+    source_line: str = ""
+
+    def fingerprint(self) -> str:
+        key = f"{self.path}|{self.code}|{self.source_line.strip()}"
+        return hashlib.sha1(key.encode("utf-8")).hexdigest()[:16]
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+class LintRule(Protocol):
+    """The contract every rule satisfies (structural; no base class needed)."""
+
+    code: str
+    description: str
+
+    def check(
+        self, tree: ast.Module, path: str, source: str
+    ) -> Iterable[Finding]: ...
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    rules: Sequence[LintRule],
+    root: Path | None = None,
+) -> list[Finding]:
+    """Parse every ``.py`` under ``paths`` and run all ``rules`` over each."""
+    root = root or Path.cwd()
+    findings: list[Finding] = []
+    for file in iter_python_files(paths):
+        source = file.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(file))
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    code="E000",
+                    message=f"file does not parse: {exc.msg}",
+                    path=_relpath(file, root),
+                    line=exc.lineno or 1,
+                )
+            )
+            continue
+        rel = _relpath(file, root)
+        lines = source.splitlines()
+        for rule in rules:
+            for finding in rule.check(tree, rel, source):
+                if not finding.source_line and 1 <= finding.line <= len(lines):
+                    finding = Finding(
+                        code=finding.code,
+                        message=finding.message,
+                        path=finding.path,
+                        line=finding.line,
+                        source_line=lines[finding.line - 1],
+                    )
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.code))
+    return findings
+
+
+def _relpath(file: Path, root: Path) -> str:
+    try:
+        rel = file.resolve().relative_to(root.resolve())
+    except ValueError:
+        rel = file
+    return rel.as_posix()
+
+
+def load_baseline(path: Path) -> set[str]:
+    if not path.exists():
+        return set()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    return set(data.get("fingerprints", []))
+
+
+def save_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    fingerprints = sorted({f.fingerprint() for f in findings})
+    payload = {
+        "comment": (
+            "Grandfathered engine-lint findings; regenerate with "
+            "`python -m tools.lint --update-baseline src/repro`."
+        ),
+        "fingerprints": fingerprints,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
